@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension: the energy-optimal operating point.  Combining Fig. 9
+ * (fmax vs VDD) with Fig. 10 (power vs V/f) answers the question the
+ * two figures exist to enable: for a fixed amount of work, which
+ * operating point minimizes energy?  Low voltage wins on power but
+ * stretches runtime over the leakage floor; high voltage races ahead
+ * but pays V^2 — the classic DVFS bathtub.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/vf_experiments.hh"
+#include "isa/assembler.hh"
+#include "sim/system.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace piton;
+    bench::banner("Extension", "Energy-optimal DVFS operating point");
+    const std::uint32_t samples = bench::samplesArg(argc, argv, 16);
+
+    // Fixed work: an integer kernel on all 50 threads.
+    const isa::Program kernel = isa::assemble(R"(
+        set 0, %r1
+    loop:
+        add %r1, 1, %r1
+        xor %r1, %r2, %r3
+        and %r3, %r2, %r4
+        or  %r4, %r1, %r5
+        cmp %r1, 6000
+        bl loop
+        halt
+    )");
+
+    const core::VfScalingExperiment vf;
+    TextTable t({"VDD (V)", "f (MHz)", "Avg power (W)", "Time (ms)",
+                 "Energy (mJ)"});
+    double best_e = 1e9, best_v = 0.0;
+    for (const double v : core::VfScalingExperiment::voltageGrid()) {
+        // Run at Chip #2's maximum frequency for this voltage.
+        const core::VfPoint p = vf.measure(2, v);
+        sim::SystemOptions opts;
+        opts.vddV = v;
+        opts.vcsV = v + 0.05;
+        opts.coreClockMhz = p.fmaxMhz;
+        sim::System sys(opts);
+        for (TileId tile = 0; tile < 25; ++tile) {
+            sys.loadProgram(tile, 0, &kernel);
+            sys.loadProgram(tile, 1, &kernel);
+        }
+        (void)samples;
+        const sim::CompletionResult r =
+            sys.runToCompletion(4'000'000'000ULL);
+        if (!r.completed)
+            continue;
+        const double energy_mj = r.onChipEnergyJ * 1e3;
+        t.addRow({fmtF(v, 2), fmtF(p.fmaxMhz, 1),
+                  fmtF(r.onChipEnergyJ / r.seconds, 3),
+                  fmtF(r.seconds * 1e3, 3), fmtF(energy_mj, 4)});
+        if (energy_mj < best_e) {
+            best_e = energy_mj;
+            best_v = v;
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nenergy-optimal point: VDD = " << fmtF(best_v, 2)
+              << " V (" << fmtF(best_e, 3)
+              << " mJ for the fixed kernel)\n"
+                 "For this fully-parallel kernel the V^2 dynamic term"
+                 " dominates across the\nwhole operating range, so"
+                 " energy falls monotonically toward the low-voltage\n"
+                 "end — near-threshold operation wins until the"
+                 " leakage-over-runtime floor\ntakes over below the"
+                 " modelled range.  Quantifying that tradeoff is why\n"
+                 "DVFS policies need exactly the Fig. 9 + Fig. 10"
+                 " characterization.\n";
+    return 0;
+}

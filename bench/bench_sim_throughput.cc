@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): simulator throughput
+ * of the pieces that dominate experiment runtime — core issue loop,
+ * memory-system transactions, NoC packet routing, thermal stepping,
+ * and a full measurement window.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/piton_chip.hh"
+#include "chip/chip_instance.hh"
+#include "isa/assembler.hh"
+#include "sim/system.hh"
+#include "thermal/thermal_model.hh"
+#include "workloads/microbenchmarks.hh"
+
+namespace
+{
+
+using namespace piton;
+
+void
+BM_CoreIssueLoop(benchmark::State &state)
+{
+    config::PitonParams params;
+    power::EnergyModel energy;
+    arch::PitonChip chip(params, chip::makeChip(2), energy);
+    const isa::Program p = isa::assemble(R"(
+        set 0, %r1
+    loop:
+        add %r1, 1, %r1
+        xor %r1, %r2, %r3
+        ba loop
+    )");
+    chip.loadProgram(0, 0, &p);
+    chip.run(10000); // warm the I-cache
+    for (auto _ : state)
+        chip.run(10000);
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoreIssueLoop);
+
+void
+BM_FullChipInt(benchmark::State &state)
+{
+    sim::System sys;
+    const auto programs = workloads::loadMicrobench(
+        sys, workloads::Microbench::Int, 25, 2, /*iterations=*/0);
+    sys.pitonChip().run(50000);
+    for (auto _ : state)
+        sys.pitonChip().run(5000);
+    state.SetItemsProcessed(state.iterations() * 5000 * 25);
+}
+BENCHMARK(BM_FullChipInt);
+
+void
+BM_MemorySystemL2Miss(benchmark::State &state)
+{
+    config::PitonParams params;
+    power::EnergyModel energy;
+    power::EnergyLedger ledger;
+    arch::MainMemory memory;
+    arch::MemorySystem mem(params, energy, ledger, memory);
+    Cycle now = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        RegVal data;
+        mem.load(0, a, data, now);
+        a += 409600; // always a fresh L2 set alias
+        now += 424;
+        benchmark::DoNotOptimize(data);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemorySystemL2Miss);
+
+void
+BM_NocPacket8Hops(benchmark::State &state)
+{
+    config::PitonParams params;
+    power::EnergyModel energy;
+    power::EnergyLedger ledger;
+    arch::MainMemory memory;
+    arch::MemorySystem mem(params, energy, ledger, memory);
+    const std::vector<RegVal> payload(6, 0xAAAAAAAAAAAAAAAAULL);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.injectPacket(24, payload));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NocPacket8Hops);
+
+void
+BM_ThermalStep(benchmark::State &state)
+{
+    thermal::ThermalModel tm;
+    for (auto _ : state)
+        tm.step(2.0, 0.001);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalStep);
+
+void
+BM_MeasurementWindow(benchmark::State &state)
+{
+    sim::System sys;
+    const auto programs = workloads::loadMicrobench(
+        sys, workloads::Microbench::HP, 25, 2, /*iterations=*/0);
+    sys.pitonChip().run(50000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys.windowTruePowers(2000));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeasurementWindow);
+
+} // namespace
+
+BENCHMARK_MAIN();

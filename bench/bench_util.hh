@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: banner printing and a
+ * --samples override so the full suite can be run quickly.
+ */
+
+#ifndef PITON_BENCH_BENCH_UTIL_HH
+#define PITON_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace piton::bench
+{
+
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("Reproduction of: McKeown et al., \"Power and Energy\n"
+                "Characterization of an Open Source 25-core Manycore\n"
+                "Processor\", HPCA 2018.\n");
+    std::printf("==============================================================\n\n");
+}
+
+/** Parse --samples N (default: the paper's 128 monitor samples). */
+inline std::uint32_t
+samplesArg(int argc, char **argv, std::uint32_t def = 128)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--samples") == 0)
+            return static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+    return def;
+}
+
+} // namespace piton::bench
+
+#endif // PITON_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * EPI explorer: measure the energy per instruction of any supported
+ * instruction variant at any operand pattern — the paper's open-data
+ * use case of building power models from the characterization.
+ *
+ * Usage:
+ *   epi_explorer [variant] [min|random|max] [--samples N]
+ *   epi_explorer --list
+ *
+ * Example:
+ *   ./build/examples/epi_explorer sdivx max
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/epi_experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace piton;
+
+    std::string variant = "add";
+    workloads::OperandPattern pattern = workloads::OperandPattern::Random;
+    std::uint32_t samples = 64;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            std::printf("supported variants:\n");
+            for (const auto &v : workloads::epiVariants())
+                std::printf("  %-10s latency %2u cycles%s\n",
+                            v.label.c_str(), v.latency,
+                            v.hasOperands ? "" : " (no operand patterns)");
+            return 0;
+        }
+        if (arg == "--samples" && i + 1 < argc) {
+            samples = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "min") {
+            pattern = workloads::OperandPattern::Minimum;
+        } else if (arg == "random") {
+            pattern = workloads::OperandPattern::Random;
+        } else if (arg == "max") {
+            pattern = workloads::OperandPattern::Maximum;
+        } else {
+            variant = arg;
+        }
+    }
+
+    const workloads::EpiVariant &v = workloads::epiVariant(variant);
+    core::EpiExperiment exp(sim::SystemOptions{}, samples);
+
+    std::printf("measuring EPI of '%s' with %s operands "
+                "(latency %u cycles, %u samples)...\n",
+                v.label.c_str(), workloads::operandPatternName(pattern),
+                v.latency, samples);
+    const core::EpiRow row = exp.measure(v, pattern);
+    std::printf("EPI = %.1f ± %.1f pJ\n", row.epiPj, row.errPj);
+
+    // Context: the recompute-vs-load tradeoff from the paper.
+    const core::EpiRow add =
+        exp.measure(workloads::epiVariant("add"),
+                    workloads::OperandPattern::Random);
+    std::printf("for reference, add(random) = %.1f pJ -> '%s' costs "
+                "%.1f adds\n",
+                add.epiPj, v.label.c_str(), row.epiPj / add.epiPj);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * NoC traffic study: inject custom traffic into the mesh and measure
+ * energy per flit — the workflow the paper suggests for reassessing
+ * NoC power models against real-system data.
+ *
+ * Usage:
+ *   noc_traffic_study [payload-hex] [--hops N]
+ *
+ * Example (a sparse telemetry pattern):
+ *   ./build/examples/noc_traffic_study 0x00FF00FF00FF00FF --hops 6
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/equations.hh"
+#include "core/noc_experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace piton;
+
+    RegVal payload = 0xAAAAAAAAAAAAAAAAULL;
+    std::uint32_t max_hops = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--hops") == 0 && i + 1 < argc)
+            max_hops = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        else
+            payload = std::strtoull(argv[i], nullptr, 0);
+    }
+
+    // Measure EPF for the user's payload (alternating with zeros) at
+    // each hop count, through the full injection methodology.
+    sim::SystemOptions opts;
+    sim::System base_sys(opts);
+    std::printf("payload 0x%016llx alternating with zeros, 0..%u hops\n\n",
+                static_cast<unsigned long long>(payload), max_hops);
+    std::printf("%4s  %10s  %14s\n", "hops", "EPF (pJ)", "per-hop (pJ)");
+
+    double prev = 0.0;
+    for (std::uint32_t h = 0; h <= max_hops; ++h) {
+        // Fresh system per point (the paper's methodology: separate
+        // steady-state measurements).
+        sim::System sys(opts);
+        auto inject = [&](TileId dst) {
+            const Cycle window = sys.options().cyclesPerSample;
+            for (Cycle i = 0; i < window / core::kNocPatternCycles; ++i) {
+                std::vector<RegVal> flits(6);
+                for (std::size_t k = 0; k < flits.size(); ++k)
+                    flits[k] = (k % 2 == 0) ? payload : 0;
+                sys.pitonChip().memSystem().injectPacket(dst, flits);
+            }
+            return sys.windowTruePowers(window);
+        };
+        const TileId dst = core::hopTargetTile(h);
+        double base_w = 0.0, hop_w = 0.0;
+        for (int i = 0; i < 32; ++i) {
+            const auto pb = inject(0);
+            base_w += (pb[0] + pb[1]) / 32.0;
+        }
+        for (int i = 0; i < 32; ++i) {
+            const auto ph = inject(dst);
+            hop_w += (ph[0] + ph[1]) / 32.0;
+        }
+        const double epf_pj =
+            jToPj(core::epfJoules(hop_w, base_w, sys.coreClockHz()));
+        std::printf("%4u  %10.1f  %14.1f\n", h, epf_pj,
+                    h ? (epf_pj - prev) : 0.0);
+        prev = epf_pj;
+    }
+
+    std::printf("\ncompare: paper slopes are 3.58 (no switching) to "
+                "16.98 pJ/hop (full switching);\nan 8-hop flit costs "
+                "about one add instruction (~95 pJ).\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "arch/cache.hh"
+
+#include "common/logging.hh"
+
+namespace piton::arch
+{
+
+const char *
+mesiName(Mesi s)
+{
+    switch (s) {
+      case Mesi::Invalid: return "I";
+      case Mesi::Shared: return "S";
+      case Mesi::Exclusive: return "E";
+      case Mesi::Modified: return "M";
+      default:
+        piton_panic("bad MESI state");
+    }
+}
+
+CacheArray::CacheArray(const config::CacheParams &params)
+    : sets_(params.numSets()), ways_(params.associativity),
+      lineBytes_(params.lineBytes)
+{
+    piton_assert(sets_ > 0 && ways_ > 0 && lineBytes_ >= 8,
+                 "bad cache geometry");
+    piton_assert((lineBytes_ & (lineBytes_ - 1)) == 0,
+                 "line size must be a power of two");
+    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+CacheLine *
+CacheArray::find(Addr addr)
+{
+    const Addr line = lineAlign(addr);
+    const std::size_t base = static_cast<std::size_t>(setOf(addr)) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        CacheLine &cl = lines_[base + w];
+        if (cl.valid() && cl.tag == line)
+            return &cl;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+Mesi
+CacheArray::probe(Addr addr) const
+{
+    const CacheLine *cl = find(addr);
+    return cl ? cl->state : Mesi::Invalid;
+}
+
+bool
+CacheArray::access(Addr addr, Cycle now)
+{
+    CacheLine *cl = find(addr);
+    if (!cl)
+        return false;
+    cl->lastUse = now;
+    return true;
+}
+
+bool
+CacheArray::setState(Addr addr, Mesi state)
+{
+    CacheLine *cl = find(addr);
+    if (!cl)
+        return false;
+    cl->state = state;
+    return true;
+}
+
+Eviction
+CacheArray::fill(Addr addr, Mesi state, Cycle now)
+{
+    piton_assert(state != Mesi::Invalid, "cannot fill an invalid line");
+    const Addr line = lineAlign(addr);
+    const std::size_t base = static_cast<std::size_t>(setOf(addr)) * ways_;
+
+    // Hit: just update state.
+    if (CacheLine *cl = find(addr)) {
+        cl->state = state;
+        cl->lastUse = now;
+        return {};
+    }
+
+    // Prefer an invalid way, else LRU.
+    CacheLine *victim = &lines_[base];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        CacheLine &cl = lines_[base + w];
+        if (!cl.valid()) {
+            victim = &cl;
+            break;
+        }
+        if (cl.lastUse < victim->lastUse)
+            victim = &cl;
+    }
+
+    Eviction ev;
+    if (victim->valid()) {
+        ev.happened = true;
+        ev.lineAddr = victim->tag;
+        ev.state = victim->state;
+    }
+    victim->tag = line;
+    victim->state = state;
+    victim->lastUse = now;
+    return ev;
+}
+
+Mesi
+CacheArray::invalidate(Addr addr)
+{
+    CacheLine *cl = find(addr);
+    if (!cl)
+        return Mesi::Invalid;
+    const Mesi prev = cl->state;
+    cl->state = Mesi::Invalid;
+    return prev;
+}
+
+std::size_t
+CacheArray::validCount() const
+{
+    std::size_t n = 0;
+    for (const auto &cl : lines_)
+        n += cl.valid();
+    return n;
+}
+
+void
+CacheArray::flushAll()
+{
+    for (auto &cl : lines_)
+        cl = CacheLine{};
+}
+
+} // namespace piton::arch

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Generic set-associative cache tag array with true-LRU replacement.
+ *
+ * Used for all four cache levels (L1I, L1D, L1.5, L2 slice).  Only tags
+ * and per-line metadata live here — data contents stay in MainMemory
+ * (the simulator keeps a single architectural copy and relies on the
+ * transaction-level coherence model in MemorySystem for ordering).
+ *
+ * Line metadata carries a MESI state so the same array serves both the
+ * private caches (which only use I/S/M semantics) and the L2 slices.
+ */
+
+#ifndef PITON_ARCH_CACHE_HH
+#define PITON_ARCH_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "config/piton_params.hh"
+
+namespace piton::arch
+{
+
+/** MESI stable states. */
+enum class Mesi : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *mesiName(Mesi s);
+
+struct CacheLine
+{
+    Addr tag = 0;       ///< line-aligned address
+    Mesi state = Mesi::Invalid;
+    Cycle lastUse = 0;  ///< for LRU
+
+    bool valid() const { return state != Mesi::Invalid; }
+    bool dirty() const { return state == Mesi::Modified; }
+};
+
+/** Result of a fill: the line that was evicted, if any. */
+struct Eviction
+{
+    bool happened = false;
+    Addr lineAddr = 0;
+    Mesi state = Mesi::Invalid;
+};
+
+class CacheArray
+{
+  public:
+    explicit CacheArray(const config::CacheParams &params);
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    Addr lineAlign(Addr a) const { return a & ~static_cast<Addr>(lineBytes_ - 1); }
+    std::uint32_t setOf(Addr a) const
+    {
+        return static_cast<std::uint32_t>((a / lineBytes_) % sets_);
+    }
+
+    /** Look a line up; returns its state without touching LRU. */
+    Mesi probe(Addr addr) const;
+
+    /** Look a line up and update LRU on hit. */
+    bool access(Addr addr, Cycle now);
+
+    /** Change a resident line's state; false if the line is absent. */
+    bool setState(Addr addr, Mesi state);
+
+    /** Insert (or overwrite) a line, evicting the LRU victim. */
+    Eviction fill(Addr addr, Mesi state, Cycle now);
+
+    /** Invalidate if present; returns the previous state. */
+    Mesi invalidate(Addr addr);
+
+    /** Number of valid lines (diagnostics). */
+    std::size_t validCount() const;
+
+    /** Drop all contents (power-on reset). */
+    void flushAll();
+
+  private:
+    CacheLine *find(Addr addr);
+    const CacheLine *find(Addr addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint32_t lineBytes_;
+    std::vector<CacheLine> lines_; // sets_ * ways_, row-major by set
+};
+
+} // namespace piton::arch
+
+#endif // PITON_ARCH_CACHE_HH

@@ -1,0 +1,93 @@
+#include "arch/chipset.hh"
+
+namespace piton::arch
+{
+
+Chipset::Chipset(const power::EnergyModel &energy,
+                 power::EnergyLedger &ledger, std::uint64_t jitter_seed)
+    : energy_(energy), ledger_(ledger), rng_(jitter_seed)
+{
+}
+
+const std::vector<LatencyStage> &
+Chipset::memoryLatencyStages()
+{
+    // Fig. 15, normalized to the 500.05 MHz core clock.  The DRAM stage
+    // is the "~70 cycles x2" item plus memory-controller occupancy.
+    static const std::vector<LatencyStage> stages = {
+        {"Tile Array", "L1 Miss + L2 Miss", 28},
+        {"Chip Bridge", "AFIFO + Mux", 5},
+        {"Gateway FPGA (out)", "Buf FFs + AFIFO", 39},
+        {"FMC (out)", "Buf FFs + AFIFO", 9},
+        {"Chip Bridge Demux", "Buf FFs + AFIFO", 11},
+        {"North Bridge", "Buf FFs + Route", 8},
+        {"DRAM Ctl", "AFIFO + Buf FFs + Req Send", 16},
+        {"DRAM", "Mem Ctl + DRAM Access (x2, 32-bit I/F)", 170},
+        {"DRAM Ctl (resp)", "Resp Process + AFIFO", 11},
+        {"North Bridge (resp)", "Buf FFs + Mux", 6},
+        {"Chip Bridge Mux", "Buf FFs + Mux", 12},
+        {"Gateway FPGA (in)", "Buf FFs + AFIFO", 63},
+        {"Tile Array (fill)", "L2 Fill + L1 Fill", 17},
+    };
+    return stages;
+}
+
+std::uint32_t
+Chipset::nominalRoundTripCycles()
+{
+    std::uint32_t total = 0;
+    for (const auto &s : memoryLatencyStages())
+        total += s.coreCycles;
+    return total;
+}
+
+std::uint32_t
+Chipset::offChipPortionCycles()
+{
+    const auto &stages = memoryLatencyStages();
+    std::uint32_t total = 0;
+    for (std::size_t i = 1; i + 1 < stages.size(); ++i)
+        total += stages[i].coreCycles;
+    return total;
+}
+
+void
+Chipset::chargeCrossing(std::uint32_t flits)
+{
+    power::RailEnergy bridge;
+    power::RailEnergy pads;
+    for (std::uint32_t i = 0; i < flits; ++i) {
+        bridge += energy_.chipBridgeFlitEnergy();
+        // Each 64-bit flit crosses the 32-bit interface as two beats.
+        pads += energy_.vioBeatEnergy();
+        pads += energy_.vioBeatEnergy();
+    }
+    stats_.bridgeFlits += flits;
+    stats_.vioBeats += 2ULL * flits;
+    ledger_.add(power::Category::ChipBridge, bridge);
+    ledger_.add(power::Category::ChipBridge, pads);
+}
+
+std::uint32_t
+Chipset::memoryRoundTrip(Cycle)
+{
+    ++stats_.requests;
+    stats_.dramAccesses += 2;
+    // Request: 3 flits; response: header + 64 B line (8 flits).
+    chargeCrossing(3);
+    chargeCrossing(9);
+    // Controller/bank jitter: uniform 0..58 cycles (mean 29) lifts the
+    // 395-cycle nominal trip to Table VII's measured 424 average.
+    const auto jitter = static_cast<std::uint32_t>(rng_.below(59));
+    return nominalRoundTripCycles() + jitter;
+}
+
+void
+Chipset::postWriteback()
+{
+    ++stats_.requests;
+    stats_.dramAccesses += 2;
+    chargeCrossing(9); // header + line out; ack ignored
+}
+
+} // namespace piton::arch

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Off-chip chipset model: gateway FPGA, FMC link, chip bridge demux,
+ * north bridge, DRAM controller, and DRAM (Fig. 15, Table II).
+ *
+ * The experimental system routes every memory request from the chip
+ * bridge through a gateway FPGA, over an FMC connector, into a Kintex-7
+ * chipset FPGA that hosts the DRAM controller and a 32-bit DDR3 DRAM
+ * interface (which needs two accesses per 64-bit-wide request).  Fig. 15
+ * itemizes where the ~395-cycle (790 ns) round trip goes; this model
+ * encodes that stage table, adds controller/bank-conflict jitter so the
+ * *average* L2-miss latency matches Table VII's 424 cycles, and charges
+ * chip-bridge and VIO pad energy for the off-chip crossing.
+ */
+
+#ifndef PITON_ARCH_CHIPSET_HH
+#define PITON_ARCH_CHIPSET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "power/energy_model.hh"
+
+namespace piton::arch
+{
+
+/** One stage of the Fig. 15 memory-latency breakdown. */
+struct LatencyStage
+{
+    std::string component;
+    std::string detail;
+    std::uint32_t coreCycles; ///< normalized to the 500.05 MHz core clock
+};
+
+struct ChipsetStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t dramAccesses = 0; ///< two per request (32-bit interface)
+    std::uint64_t vioBeats = 0;
+    std::uint64_t bridgeFlits = 0;
+};
+
+class Chipset
+{
+  public:
+    Chipset(const power::EnergyModel &energy, power::EnergyLedger &ledger,
+            std::uint64_t jitter_seed = 0xC0FFEE);
+
+    /** The Fig. 15 stage table (request path, DRAM, response path). */
+    static const std::vector<LatencyStage> &memoryLatencyStages();
+
+    /** Sum of all stages: the nominal round trip (~395 cycles). */
+    static std::uint32_t nominalRoundTripCycles();
+
+    /** Stages outside the tile array (chip bridge onward). */
+    static std::uint32_t offChipPortionCycles();
+
+    /**
+     * Latency of one memory round trip including controller jitter.
+     * Charges chip-bridge flit energy and VIO pad energy for the
+     * request (3 flits) and response (header + 64 B line = 9 flits).
+     */
+    std::uint32_t memoryRoundTrip(Cycle now);
+
+    /** Charge a DRAM write-back (no latency returned; posted). */
+    void postWriteback();
+
+    const ChipsetStats &stats() const { return stats_; }
+    void resetStats() { stats_ = ChipsetStats{}; }
+
+    /** Mean extra cycles from jitter (for closed-form checks). */
+    static constexpr double kMeanJitterCycles = 29.0;
+
+  private:
+    void chargeCrossing(std::uint32_t flits);
+
+    const power::EnergyModel &energy_;
+    power::EnergyLedger &ledger_;
+    Rng rng_;
+    ChipsetStats stats_;
+};
+
+} // namespace piton::arch
+
+#endif // PITON_ARCH_CHIPSET_HH

@@ -1,0 +1,328 @@
+#include "arch/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace piton::arch
+{
+
+Core::Core(TileId tile, const config::PitonParams &params,
+           MemorySystem &mem, const power::EnergyModel &energy,
+           power::EnergyLedger &ledger, double dyn_factor)
+    : tile_(tile), params_(params), mem_(mem), energy_(energy),
+      ledger_(ledger), dynFactor_(dyn_factor)
+{
+    threads_.resize(params_.threadsPerCore);
+    lastIssue_.resize(params_.threadsPerCore, {nullptr, 0});
+}
+
+void
+Core::loadProgram(ThreadId tid, const isa::Program *program,
+                  const std::vector<std::pair<int, RegVal>> &init_regs)
+{
+    piton_assert(tid < threads_.size(), "thread id %u out of range", tid);
+    piton_assert(program && !program->empty(), "empty program");
+    ThreadState &t = threads_[tid];
+    t = ThreadState{};
+    t.program = program;
+    t.status = ThreadStatus::Ready;
+    for (const auto &[reg, val] : init_regs) {
+        piton_assert(reg > 0 && reg < static_cast<int>(isa::kNumIntRegs),
+                     "bad init register %d", reg);
+        t.regs[static_cast<std::size_t>(reg)] = val;
+    }
+}
+
+void
+Core::chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2)
+{
+    const auto activity = power::EnergyModel::operandActivity(rs1, rs2);
+    double scale = dynFactor_;
+    if (draftActive_) {
+        // Execution Drafting: the duplicated front-end (fetch/decode)
+        // work of the drafted instruction is saved.
+        scale *= 1.0 - energy_.params().execDraftFrontEndFrac;
+    }
+    ledger_.add(power::Category::Exec,
+                energy_.instructionEnergy(cls, activity).scaled(scale));
+}
+
+bool
+Core::draftCheck(ThreadId tid, const ThreadState &t)
+{
+    if (!execDrafting_ || threads_.size() < 2)
+        return false;
+    // Drafted when the sibling thread's last issued instruction is the
+    // same static instruction (same program, same pc).
+    const ThreadId sibling = (tid + 1) % threads_.size();
+    const auto &[prog, pc] = lastIssue_[sibling];
+    return prog == t.program && pc == t.pc;
+}
+
+void
+Core::drainStoreBuffer(Cycle now)
+{
+    while (!storeBuffer_.empty() && storeBuffer_.front() <= now)
+        storeBuffer_.erase(storeBuffer_.begin());
+}
+
+std::size_t
+Core::storeBufferDepth(Cycle now) const
+{
+    std::size_t depth = 0;
+    for (const Cycle c : storeBuffer_)
+        depth += (c > now);
+    return depth;
+}
+
+bool
+Core::allThreadsDone() const
+{
+    for (const auto &t : threads_) {
+        if (t.status == ThreadStatus::Ready)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+Core::totalInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : threads_)
+        n += t.instsExecuted;
+    return n;
+}
+
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNever;
+    for (const auto &t : threads_) {
+        if (t.status != ThreadStatus::Ready)
+            continue;
+        next = std::min(next, std::max(t.readyAt, now));
+    }
+    return next;
+}
+
+bool
+Core::tick(Cycle now)
+{
+    drainStoreBuffer(now);
+
+    // Round-robin thread selection starting after the last issuer, so
+    // two ready threads alternate cycle by cycle (fine-grained MT).
+    // Under Execution Drafting the selector switches to ExecD's MinPC
+    // policy: the ready thread furthest behind in the (shared) program
+    // issues first, pulling similar threads into lockstep so their
+    // instructions draft.
+    const auto n = static_cast<std::uint32_t>(threads_.size());
+    std::uint32_t pick = n; // invalid
+    if (execDrafting_) {
+        for (std::uint32_t tid = 0; tid < n; ++tid) {
+            ThreadState &t = threads_[tid];
+            if (t.status != ThreadStatus::Ready || t.readyAt > now)
+                continue;
+            if (pick == n)
+                pick = tid;
+            else if (threads_[pick].program == t.program
+                     && t.pc < threads_[pick].pc)
+                pick = tid;
+            else if (threads_[pick].program == t.program
+                     && t.pc == threads_[pick].pc && pick == lastIssued_)
+                pick = tid; // tie: alternate issuers
+        }
+        if (pick != n) {
+            ThreadState &t = threads_[pick];
+            draftActive_ = draftCheck(pick, t);
+            // A drafted instruction reuses the sibling's front-end
+            // work: no context-switch energy is paid for it.
+            if (pick != lastIssued_ && !draftActive_) {
+                ++threadSwitches_;
+                ledger_.add(power::Category::Exec,
+                            energy_.threadSwitchEnergy()
+                                .scaled(dynFactor_));
+            }
+            lastIssued_ = pick;
+            const std::uint32_t pc_before = t.pc;
+            const isa::Program *prog = t.program;
+            const std::uint64_t insts_before = t.instsExecuted;
+            issue(t, pick, now);
+            if (t.instsExecuted != insts_before) {
+                if (draftActive_)
+                    ++draftedInsts_;
+                lastIssue_[pick] = {prog, pc_before};
+                if (trace_)
+                    trace_(tile_, pick, now, prog->pcOf(pc_before),
+                           prog->at(pc_before));
+            }
+            draftActive_ = false;
+            return true;
+        }
+        return false;
+    }
+    for (std::uint32_t i = 1; i <= n; ++i) {
+        const std::uint32_t tid = (lastIssued_ + i) % n;
+        ThreadState &t = threads_[tid];
+        if (t.status != ThreadStatus::Ready || t.readyAt > now)
+            continue;
+        // Hardware context switch: charged when the issue slot changes
+        // thread (the FGMT overhead of Section IV-H2).
+        if (tid != lastIssued_) {
+            ++threadSwitches_;
+            ledger_.add(power::Category::Exec,
+                        energy_.threadSwitchEnergy().scaled(dynFactor_));
+        }
+        lastIssued_ = tid;
+        draftActive_ = draftCheck(tid, t);
+        const std::uint32_t pc_before = t.pc;
+        const isa::Program *prog = t.program;
+        const std::uint64_t insts_before = t.instsExecuted;
+        issue(t, tid, now);
+        // An I-fetch miss stalls without executing: don't record it.
+        if (t.instsExecuted != insts_before) {
+            if (draftActive_)
+                ++draftedInsts_;
+            lastIssue_[tid] = {prog, pc_before};
+            if (trace_)
+                trace_(tile_, tid, now, prog->pcOf(pc_before),
+                       prog->at(pc_before));
+        }
+        draftActive_ = false;
+        return true;
+    }
+    return false;
+}
+
+void
+Core::issue(ThreadState &t, ThreadId tid, Cycle now)
+{
+    piton_assert(t.pc < t.program->size(),
+                 "pc %u fell off the end of the program (size %u); "
+                 "programs must loop or halt",
+                 t.pc, t.program->size());
+
+    // Instruction fetch: an L1I miss stalls the thread and retries.
+    const Addr pc_addr = t.program->pcOf(t.pc);
+    const std::uint32_t fetch_extra = mem_.ifetch(tile_, pc_addr, now);
+    if (fetch_extra > 0) {
+        t.readyAt = now + fetch_extra;
+        t.memStallCycles += fetch_extra;
+        return;
+    }
+
+    const isa::Instruction &inst = t.program->at(t.pc);
+    const isa::InstClass cls = isa::classOf(inst.op);
+
+    // Source operand values (drive switching energy).
+    const auto &srcs = inst.fp ? t.fregs : t.regs;
+    const RegVal rs1 = srcs[inst.rs1];
+    const RegVal rs2 = inst.useImm ? static_cast<RegVal>(inst.imm)
+                                   : srcs[inst.rs2];
+
+    switch (inst.op) {
+      case isa::Opcode::Ldx: {
+        const Addr addr = t.regs[inst.rs1] + static_cast<Addr>(inst.imm);
+        RegVal data = 0;
+        const AccessOutcome out = mem_.load(tile_, addr, data, now);
+        // Load energy switches with the returned data and the address
+        // bus (the operand-value dependence of Fig. 11).
+        chargeExec(cls, data, static_cast<RegVal>(addr));
+        if (inst.rd != 0)
+            t.regs[inst.rd] = data;
+        ++t.classCounts[static_cast<std::size_t>(cls)];
+        if (out.level != HitLevel::L1) {
+            ++t.loadRollbacks;
+            t.memStallCycles += out.latency - lat_.loadL1Hit;
+        }
+        t.readyAt = now + out.latency;
+        ++t.instsExecuted;
+        ++t.pc;
+        return;
+      }
+      case isa::Opcode::Stx: {
+        drainStoreBuffer(now);
+        if (storeBuffer_.size() >= params_.storeBufferEntries) {
+            // Speculative issue found the buffer full: roll back this
+            // thread and replay the store once a slot frees.
+            ++t.storeRollbacks;
+            ledger_.add(power::Category::Rollback,
+                        energy_.rollbackEnergy().scaled(dynFactor_));
+            t.readyAt = storeBuffer_.front();
+            return; // pc unchanged: the store re-executes
+        }
+        const Addr addr = t.regs[inst.rs1] + static_cast<Addr>(inst.imm);
+        const RegVal data = t.regs[inst.rd];
+        chargeExec(cls, data, static_cast<RegVal>(addr));
+        const AccessOutcome out = mem_.store(tile_, addr, data, now);
+        // Stores drain serially: one per store latency.
+        const Cycle start = std::max(now, lastStoreDrain_);
+        const Cycle done = start + out.latency;
+        storeBuffer_.push_back(done);
+        lastStoreDrain_ = done;
+        // The thread itself continues; later instructions bypass the
+        // buffered store.
+        ++t.classCounts[static_cast<std::size_t>(cls)];
+        t.readyAt = now + 1;
+        ++t.instsExecuted;
+        ++t.pc;
+        return;
+      }
+      case isa::Opcode::Casx: {
+        const Addr addr = t.regs[inst.rs1];
+        chargeExec(cls, t.regs[inst.rs2], t.regs[inst.rd]);
+        RegVal old = 0;
+        const AccessOutcome out = mem_.atomicCas(
+            tile_, addr, t.regs[inst.rs2], t.regs[inst.rd], old, now);
+        if (inst.rd != 0)
+            t.regs[inst.rd] = old;
+        ++t.classCounts[static_cast<std::size_t>(cls)];
+        t.memStallCycles += out.latency;
+        t.readyAt = now + out.latency;
+        ++t.instsExecuted;
+        ++t.pc;
+        return;
+      }
+      case isa::Opcode::Beq:
+      case isa::Opcode::Bne:
+      case isa::Opcode::Bg:
+      case isa::Opcode::Bl:
+      case isa::Opcode::Ba: {
+        chargeExec(cls, t.cc.zero, t.cc.negative);
+        const bool taken = isa::branchTaken(inst.op, t.cc);
+        t.pc = taken ? inst.target : t.pc + 1;
+        ++t.classCounts[static_cast<std::size_t>(cls)];
+        t.readyAt = now + lat_.latencyOf(cls);
+        ++t.instsExecuted;
+        return;
+      }
+      case isa::Opcode::Halt:
+        t.status = ThreadStatus::Halted;
+        ++t.classCounts[static_cast<std::size_t>(cls)];
+        ++t.instsExecuted;
+        return;
+      default: {
+        // ALU / FP / pseudo ops.
+        chargeExec(cls, rs1, rs2);
+        const RegVal hwid =
+            static_cast<RegVal>(tile_) * params_.threadsPerCore + tid;
+        const isa::AluResult res = isa::evalAlu(inst, rs1, rs2, hwid);
+        // %r0 is hardwired zero; FP registers have no zero register.
+        if (res.writesRd && (inst.fp || inst.rd != 0)) {
+            auto &dsts = inst.fp ? t.fregs : t.regs;
+            dsts[inst.rd] = res.value;
+        }
+        if (res.setsCc)
+            t.cc = res.cc;
+        ++t.classCounts[static_cast<std::size_t>(cls)];
+        t.readyAt = now + lat_.latencyOf(cls);
+        ++t.instsExecuted;
+        ++t.pc;
+        return;
+      }
+    }
+}
+
+} // namespace piton::arch

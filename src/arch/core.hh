@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The Piton core: a single-issue, six-stage, in-order SPARC-style core
+ * with two-way fine-grained multithreading (a modified OpenSPARC T1).
+ *
+ * Modelled behaviours that the characterization depends on:
+ *  - fine-grained thread interleaving: each cycle the issue slot goes
+ *    round-robin to a ready thread, hiding long-latency instructions of
+ *    the other thread (Section IV-H's multithreading-vs-multicore
+ *    study);
+ *  - instruction occupancy per Table VI (a thread cannot issue again
+ *    until its previous instruction's latency elapses);
+ *  - an eight-entry store buffer that drains one store per store
+ *    latency; stores are issued speculatively and roll back when the
+ *    buffer is full (the paper's stx(F) vs stx(NF) distinction);
+ *  - load-hit speculation with rollback on a miss;
+ *  - per-instruction energy charged with operand-value-dependent
+ *    switching activity (Fig. 11's min/random/max operand series).
+ */
+
+#ifndef PITON_ARCH_CORE_HH
+#define PITON_ARCH_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/mem_system.hh"
+#include "common/types.hh"
+#include "config/piton_params.hh"
+#include "isa/alu.hh"
+#include "isa/program.hh"
+#include "power/energy_model.hh"
+
+namespace piton::arch
+{
+
+enum class ThreadStatus : std::uint8_t
+{
+    Idle,    ///< no program loaded
+    Ready,   ///< can issue when readyAt <= now
+    Halted,  ///< executed Halt
+};
+
+struct ThreadState
+{
+    std::array<RegVal, isa::kNumIntRegs> regs{};
+    std::array<RegVal, isa::kNumFpRegs> fregs{};
+    isa::CondCodes cc;
+    const isa::Program *program = nullptr;
+    std::uint32_t pc = 0;
+    ThreadStatus status = ThreadStatus::Idle;
+    Cycle readyAt = 0;
+
+    // Statistics.
+    std::uint64_t instsExecuted = 0;
+    /** Retired instructions per energy class (power-model fitting). */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(isa::InstClass::NumClasses)>
+        classCounts{};
+    std::uint64_t loadRollbacks = 0;
+    std::uint64_t storeRollbacks = 0;
+    std::uint64_t memStallCycles = 0;
+};
+
+class Core
+{
+  public:
+    Core(TileId tile, const config::PitonParams &params,
+         MemorySystem &mem, const power::EnergyModel &energy,
+         power::EnergyLedger &ledger, double dyn_factor = 1.0);
+
+    TileId tileId() const { return tile_; }
+
+    /**
+     * Enable Execution Drafting (the Piton core's energy-efficiency
+     * mechanism for similar code on the two threads, McKeown et al.
+     * MICRO'14): when a thread issues the same static instruction its
+     * sibling just executed, the duplicated front-end work is saved.
+     */
+    void setExecDrafting(bool enabled) { execDrafting_ = enabled; }
+    bool execDrafting() const { return execDrafting_; }
+    /** Instructions that issued drafted (diagnostics). */
+    std::uint64_t draftedInsts() const { return draftedInsts_; }
+    /** Hardware thread switches charged (diagnostics). */
+    std::uint64_t threadSwitches() const { return threadSwitches_; }
+
+    /**
+     * Load a program onto a hardware thread.  Initial integer registers
+     * may be seeded (workloads pass base addresses / thread ids here).
+     */
+    void loadProgram(ThreadId tid, const isa::Program *program,
+                     const std::vector<std::pair<int, RegVal>> &init_regs = {});
+
+    /**
+     * Advance the core at cycle `now`.
+     * @return true if an instruction issued this cycle.
+     */
+    bool tick(Cycle now);
+
+    /** Earliest future cycle at which this core can do work, or
+     *  `kNever` when all threads are idle/halted. */
+    static constexpr Cycle kNever = ~Cycle{0};
+    Cycle nextEventCycle(Cycle now) const;
+
+    bool allThreadsDone() const;
+
+    const ThreadState &thread(ThreadId tid) const { return threads_[tid]; }
+    std::uint32_t threadCount() const
+    {
+        return static_cast<std::uint32_t>(threads_.size());
+    }
+    std::uint64_t totalInsts() const;
+
+    /** Store-buffer occupancy (diagnostics / tests). */
+    std::size_t storeBufferDepth(Cycle now) const;
+
+    /**
+     * Per-instruction trace hook (gem5-style exec tracing): invoked
+     * after every retired instruction with (tile, thread, cycle, pc,
+     * instruction).  Empty function disables tracing.
+     */
+    using InstTraceHook = std::function<void(
+        TileId, ThreadId, Cycle, Addr, const isa::Instruction &)>;
+    void setTraceHook(InstTraceHook hook) { trace_ = std::move(hook); }
+
+  private:
+    void issue(ThreadState &t, ThreadId tid, Cycle now);
+    void chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2);
+    void drainStoreBuffer(Cycle now);
+    /** Execution-Drafting check: does (program, pc) match the sibling
+     *  thread's last issued instruction? Updates draft tracking. */
+    bool draftCheck(ThreadId tid, const ThreadState &t);
+
+    TileId tile_;
+    const config::PitonParams &params_;
+    MemorySystem &mem_;
+    const power::EnergyModel &energy_;
+    power::EnergyLedger &ledger_;
+    double dynFactor_;
+    isa::LatencyTable lat_;
+
+    std::vector<ThreadState> threads_;
+    std::uint32_t lastIssued_ = 0;
+    bool execDrafting_ = false;
+    std::uint64_t threadSwitches_ = 0;
+    bool draftActive_ = false; ///< current instruction issues drafted
+    std::uint64_t draftedInsts_ = 0;
+    /** (program, pc) last issued per thread, for draft matching. */
+    std::vector<std::pair<const isa::Program *, std::uint32_t>> lastIssue_;
+
+    /** FIFO of in-flight store completions (<= storeBufferEntries). */
+    std::vector<Cycle> storeBuffer_;
+    Cycle lastStoreDrain_ = 0;
+
+    InstTraceHook trace_;
+};
+
+} // namespace piton::arch
+
+#endif // PITON_ARCH_CORE_HH

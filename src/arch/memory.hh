@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse functional memory backing store.
+ *
+ * Holds the architectural contents of DRAM as 4 KB pages allocated on
+ * first touch.  Timing and energy of DRAM accesses are modelled in
+ * Chipset; this class is purely functional state.  Real data values are
+ * kept (not just tags) because NoC link energy depends on the bit
+ * patterns of cache-line payloads.
+ */
+
+#ifndef PITON_ARCH_MEMORY_HH
+#define PITON_ARCH_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace piton::arch
+{
+
+class MainMemory
+{
+  public:
+    static constexpr Addr kPageBytes = 4096;
+
+    /** Read an aligned 64-bit word; untouched memory reads as zero. */
+    RegVal read64(Addr addr) const;
+
+    /** Write an aligned 64-bit word. */
+    void write64(Addr addr, RegVal value);
+
+    /** Read an aligned block (for cache-line fills) into out. */
+    void readBlock(Addr addr, std::size_t bytes,
+                   std::vector<RegVal> &out) const;
+
+    /** Number of pages currently allocated (for tests/diagnostics). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<RegVal>; // kPageBytes / 8 words
+
+    static Addr pageOf(Addr addr) { return addr / kPageBytes; }
+    static std::size_t
+    wordIndex(Addr addr)
+    {
+        return static_cast<std::size_t>((addr % kPageBytes) / 8);
+    }
+
+    Page &pageFor(Addr addr);
+    const Page *pageForRead(Addr addr) const;
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace piton::arch
+
+#endif // PITON_ARCH_MEMORY_HH

@@ -1,0 +1,69 @@
+#include "arch/mitts.hh"
+
+#include "common/logging.hh"
+
+namespace piton::arch
+{
+
+Mitts::Mitts(MittsParams params) : params_(params)
+{
+    if (params_.enabled()) {
+        piton_assert(params_.binCredits.size() == params_.numBins,
+                     "binCredits must have numBins entries");
+        piton_assert(params_.refillPeriod > 0, "refill period must be > 0");
+        credits_ = params_.binCredits;
+    }
+}
+
+std::uint32_t
+Mitts::binFor(Cycle gap) const
+{
+    std::uint32_t bin = 0;
+    while (bin + 1 < params_.numBins && gap >= (Cycle{2} << bin))
+        ++bin;
+    return bin;
+}
+
+void
+Mitts::refillUpTo(Cycle now)
+{
+    if (now >= lastRefill_ + params_.refillPeriod) {
+        credits_ = params_.binCredits;
+        lastRefill_ = now - (now - lastRefill_) % params_.refillPeriod;
+    }
+}
+
+Cycle
+Mitts::requestDepartureCycle(Cycle now)
+{
+    ++total_;
+    if (!params_.enabled())
+        return now;
+    refillUpTo(now);
+
+    const Cycle gap = now - lastDeparture_;
+    // Try the exact bin, then any longer-inter-arrival bin (a request
+    // that waited longer than necessary can always use a longer bin).
+    for (std::uint32_t b = binFor(gap); b < params_.numBins; ++b) {
+        if (credits_[b] > 0) {
+            --credits_[b];
+            lastDeparture_ = now;
+            return now;
+        }
+    }
+    // No credit: delay to the next refill boundary.
+    ++delayed_;
+    const Cycle depart = lastRefill_ + params_.refillPeriod;
+    refillUpTo(depart);
+    // Consume from the longest available bin after refill.
+    for (std::uint32_t b = params_.numBins; b-- > 0;) {
+        if (credits_[b] > 0) {
+            --credits_[b];
+            break;
+        }
+    }
+    lastDeparture_ = depart;
+    return depart;
+}
+
+} // namespace piton::arch

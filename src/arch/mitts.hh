@@ -1,0 +1,72 @@
+/**
+ * @file
+ * MITTS: Memory Inter-arrival Time Traffic Shaper.
+ *
+ * Each Piton tile contains a MITTS instance (Zhou & Wentzlaff, ISCA'16)
+ * that shapes the core's off-chip memory traffic into a configured
+ * inter-arrival-time distribution, enabling fine-grained memory
+ * bandwidth provisioning in multi-tenant systems.  The paper does not
+ * characterize MITTS power (it is 0.17% of tile area) but it is part of
+ * the tile, so the substrate includes a functional model: a set of
+ * inter-arrival-time bins holding credits that refill periodically; a
+ * request departing with inter-arrival time in bin i consumes a credit
+ * from bin i (or, failing that, from a longer-time bin); a request that
+ * finds no credit is delayed until it matches a bin with credits.
+ */
+
+#ifndef PITON_ARCH_MITTS_HH
+#define PITON_ARCH_MITTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace piton::arch
+{
+
+struct MittsParams
+{
+    /** Bin i covers inter-arrival times [2^i, 2^(i+1)) cycles. */
+    std::uint32_t numBins = 10;
+    /** Credits per bin at each refill; empty = shaping disabled. */
+    std::vector<std::uint32_t> binCredits;
+    /** Refill period in cycles. */
+    Cycle refillPeriod = 10000;
+
+    bool enabled() const { return !binCredits.empty(); }
+};
+
+class Mitts
+{
+  public:
+    explicit Mitts(MittsParams params = MittsParams{});
+
+    const MittsParams &params() const { return params_; }
+
+    /**
+     * Account for a memory request attempted at cycle `now`.
+     * @return the cycle at which the request may depart (>= now).
+     */
+    Cycle requestDepartureCycle(Cycle now);
+
+    /** Bin index for a given inter-arrival gap. */
+    std::uint32_t binFor(Cycle gap) const;
+
+    std::uint64_t delayedRequests() const { return delayed_; }
+    std::uint64_t totalRequests() const { return total_; }
+
+  private:
+    void refillUpTo(Cycle now);
+
+    MittsParams params_;
+    std::vector<std::uint32_t> credits_;
+    Cycle lastDeparture_ = 0;
+    Cycle lastRefill_ = 0;
+    std::uint64_t delayed_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace piton::arch
+
+#endif // PITON_ARCH_MITTS_HH

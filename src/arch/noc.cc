@@ -1,0 +1,125 @@
+#include "arch/noc.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace piton::arch
+{
+
+namespace
+{
+
+/** Directions for directed links. */
+enum Direction : int
+{
+    East = 0,
+    West = 1,
+    North = 2,
+    South = 3,
+    Eject = 4,
+};
+
+} // namespace
+
+RegVal
+makeHeaderFlit(TileId dst, TileId src, std::uint8_t payload_flits,
+               std::uint8_t type)
+{
+    return (static_cast<RegVal>(dst) << 48)
+           | (static_cast<RegVal>(src) << 40)
+           | (static_cast<RegVal>(payload_flits) << 32)
+           | static_cast<RegVal>(type);
+}
+
+NocNetwork::NocNetwork(const config::PitonParams &params,
+                       const power::EnergyModel &energy,
+                       power::EnergyLedger &ledger)
+    : params_(params), energy_(energy), ledger_(ledger)
+{
+}
+
+std::uint32_t
+NocNetwork::hopsBetween(TileId a, TileId b) const
+{
+    return config::hopDistance(params_, a, b);
+}
+
+std::uint32_t
+NocNetwork::turnsBetween(TileId a, TileId b) const
+{
+    const auto ca = config::tileCoord(params_, a);
+    const auto cb = config::tileCoord(params_, b);
+    return (ca.x != cb.x && ca.y != cb.y) ? 1 : 0;
+}
+
+std::uint64_t
+NocNetwork::linkId(NocId net, TileId from, int direction) const
+{
+    return (static_cast<std::uint64_t>(net) << 40)
+           | (static_cast<std::uint64_t>(from) << 8)
+           | static_cast<std::uint64_t>(direction);
+}
+
+NocSendResult
+NocNetwork::send(const Packet &pkt)
+{
+    piton_assert(!pkt.flits.empty(), "empty packet");
+    piton_assert(pkt.src < params_.tileCount && pkt.dst < params_.tileCount,
+                 "packet endpoints out of range");
+
+    NocSendResult res;
+    res.hops = hopsBetween(pkt.src, pkt.dst);
+    res.turns = turnsBetween(pkt.src, pkt.dst);
+    res.headLatency = res.hops + res.turns;
+    res.packetLatency =
+        res.headLatency + static_cast<std::uint32_t>(pkt.flits.size()) - 1;
+
+    power::RailEnergy total;
+
+    // Walk the XY route, streaming every flit over every directed link.
+    auto cur = config::tileCoord(params_, pkt.src);
+    const auto dst = config::tileCoord(params_, pkt.dst);
+    while (cur.x != dst.x || cur.y != dst.y) {
+        int dir;
+        config::TileCoord next = cur;
+        if (cur.x != dst.x) {
+            dir = (dst.x > cur.x) ? East : West;
+            next.x += (dst.x > cur.x) ? 1 : -1;
+        } else {
+            dir = (dst.y > cur.y) ? South : North;
+            next.y += (dst.y > cur.y) ? 1 : -1;
+        }
+        const TileId from = config::tileIdAt(params_, cur.x, cur.y);
+        const std::uint64_t link = linkId(pkt.net, from, dir);
+        RegVal &last = linkState_[link];
+        for (const RegVal flit : pkt.flits) {
+            const auto toggles =
+                static_cast<std::uint32_t>(std::popcount(last ^ flit));
+            total += energy_.nocHopEnergy(
+                toggles, power::EnergyModel::opposingPairs(last, flit));
+            stats_.toggledBits += toggles;
+            ++stats_.flitHops;
+            last = flit;
+        }
+        cur = next;
+    }
+
+    // Destination router ejection (data-independent port cost).
+    {
+        const std::uint64_t link = linkId(pkt.net, pkt.dst, Eject);
+        RegVal &last = linkState_[link];
+        for (const RegVal flit : pkt.flits) {
+            total += energy_.nocHopEnergy(0);
+            last = flit;
+        }
+    }
+
+    stats_.packets += 1;
+    stats_.flits += pkt.flits.size();
+    ledger_.add(power::Category::Noc, total);
+    res.energyJ = total.total();
+    return res;
+}
+
+} // namespace piton::arch

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Three-network 2D-mesh NoC model.
+ *
+ * Piton interconnects its 25 tiles with three physical 64-bit networks
+ * using dimension-ordered (X-then-Y) wormhole routing at one cycle per
+ * hop plus one extra cycle per turn.  This model routes packets
+ * transaction-at-a-time (the characterization workloads never saturate
+ * the networks, matching the paper's low observed NoC power) while
+ * tracking, per physical link, the bit toggles between consecutive
+ * flits — the quantity Fig. 12 shows dominates NoC energy (FSW vs NSW
+ * patterns).
+ */
+
+#ifndef PITON_ARCH_NOC_HH
+#define PITON_ARCH_NOC_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "config/piton_params.hh"
+#include "power/energy_model.hh"
+
+namespace piton::arch
+{
+
+/** The three physical networks and their (Piton-like) roles. */
+enum class NocId : std::uint8_t
+{
+    Noc1 = 0, ///< requests (L1.5 -> L2)
+    Noc2 = 1, ///< responses (L2 -> L1.5)
+    Noc3 = 2, ///< writebacks, forwards, invalidations
+};
+
+/** A packet is a header flit followed by payload flits (64-bit each). */
+struct Packet
+{
+    NocId net = NocId::Noc1;
+    TileId src = 0;
+    TileId dst = 0;
+    std::vector<RegVal> flits; ///< includes the header at index 0
+};
+
+/** Build a header flit encoding dst/src/length/type. */
+RegVal makeHeaderFlit(TileId dst, TileId src, std::uint8_t payload_flits,
+                      std::uint8_t type);
+
+struct NocSendResult
+{
+    std::uint32_t hops = 0;
+    std::uint32_t turns = 0;
+    /** Head-flit latency: hops + turns; tail adds flits-1. */
+    std::uint32_t headLatency = 0;
+    std::uint32_t packetLatency = 0;
+    double energyJ = 0.0;
+};
+
+struct NocStats
+{
+    std::uint64_t packets = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t flitHops = 0;
+    std::uint64_t toggledBits = 0;
+};
+
+class NocNetwork
+{
+  public:
+    NocNetwork(const config::PitonParams &params,
+               const power::EnergyModel &energy,
+               power::EnergyLedger &ledger);
+
+    /**
+     * Route a packet and charge its energy to the ledger.  The energy
+     * comprises one router ejection at the destination plus, per hop,
+     * router traversal and link-toggle energy computed against the
+     * previous flit observed on that physical link.
+     */
+    NocSendResult send(const Packet &pkt);
+
+    /** XY-routing hop/turn count between two tiles. */
+    std::uint32_t hopsBetween(TileId a, TileId b) const;
+    std::uint32_t turnsBetween(TileId a, TileId b) const;
+
+    const NocStats &stats() const { return stats_; }
+    void resetStats() { stats_ = NocStats{}; }
+
+  private:
+    /** Unique id for a directed link (from-tile, direction, network). */
+    std::uint64_t linkId(NocId net, TileId from, int direction) const;
+
+    const config::PitonParams &params_;
+    const power::EnergyModel &energy_;
+    power::EnergyLedger &ledger_;
+    /** Last flit value seen per directed physical link. */
+    std::unordered_map<std::uint64_t, RegVal> linkState_;
+    NocStats stats_;
+};
+
+} // namespace piton::arch
+
+#endif // PITON_ARCH_NOC_HH

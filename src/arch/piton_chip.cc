@@ -1,0 +1,124 @@
+#include "arch/piton_chip.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace piton::arch
+{
+
+PitonChip::PitonChip(const config::PitonParams &params,
+                     const chip::ChipInstance &instance,
+                     const power::EnergyModel &energy, std::uint64_t seed)
+    : params_(params), instance_(instance), energy_(energy)
+{
+    mem_ = std::make_unique<MemorySystem>(params_, energy_, ledger_,
+                                          memory_, seed);
+    cores_.reserve(params_.tileCount);
+    for (TileId t = 0; t < params_.tileCount; ++t) {
+        cores_.push_back(std::make_unique<Core>(
+            t, params_, *mem_, energy_, ledger_,
+            instance_.dynFactor * instance_.tileFactor(t)));
+    }
+}
+
+void
+PitonChip::loadProgram(TileId tile, ThreadId tid,
+                       const isa::Program *program,
+                       const std::vector<std::pair<int, RegVal>> &init)
+{
+    piton_assert(tile < params_.tileCount, "tile %u out of range", tile);
+    cores_[tile]->loadProgram(tid, program, init);
+}
+
+PitonChip::RunResult
+PitonChip::run(Cycle max_cycles)
+{
+    const Cycle end = now_ + max_cycles;
+    RunResult res;
+    while (now_ < end) {
+        bool all_done = true;
+        for (auto &c : cores_)
+            all_done &= c->allThreadsDone();
+        if (all_done) {
+            res.allHalted = true;
+            break;
+        }
+
+        for (auto &c : cores_)
+            c->tick(now_);
+
+        // Event skip: jump to the earliest future cycle with work.
+        Cycle next = Core::kNever;
+        for (auto &c : cores_)
+            next = std::min(next, c->nextEventCycle(now_ + 1));
+        if (next == Core::kNever) {
+            res.allHalted = true;
+            break;
+        }
+        now_ = std::min(std::max(now_ + 1, next), end);
+    }
+    res.cyclesElapsed = max_cycles - (end - now_);
+    return res;
+}
+
+std::uint64_t
+PitonChip::totalInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : cores_)
+        n += c->totalInsts();
+    return n;
+}
+
+std::array<std::uint64_t,
+           static_cast<std::size_t>(isa::InstClass::NumClasses)>
+PitonChip::classCounts() const
+{
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(isa::InstClass::NumClasses)>
+        counts{};
+    for (const auto &core : cores_) {
+        for (ThreadId t = 0; t < core->threadCount(); ++t) {
+            const auto &tc = core->thread(t).classCounts;
+            for (std::size_t i = 0; i < counts.size(); ++i)
+                counts[i] += tc[i];
+        }
+    }
+    return counts;
+}
+
+void
+PitonChip::setExecDrafting(bool enabled)
+{
+    for (auto &c : cores_)
+        c->setExecDrafting(enabled);
+}
+
+void
+PitonChip::setTraceHook(Core::InstTraceHook hook)
+{
+    for (auto &c : cores_)
+        c->setTraceHook(hook);
+}
+
+std::uint64_t
+PitonChip::draftedInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : cores_)
+        n += c->draftedInsts();
+    return n;
+}
+
+std::uint32_t
+PitonChip::activeThreads() const
+{
+    std::uint32_t n = 0;
+    for (const auto &c : cores_)
+        for (ThreadId t = 0; t < c->threadCount(); ++t)
+            n += (c->thread(t).status == ThreadStatus::Ready);
+    return n;
+}
+
+} // namespace piton::arch

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level Piton chip model: 25 tiles (core + caches + NoC routers +
+ * L2 slice), the shared memory system, and the cycle-driven run loop.
+ *
+ * Energy from micro-architectural events accumulates in the
+ * EnergyLedger; time-proportional components (clock tree, leakage) are
+ * computed analytically from elapsed cycles by the System layer (they
+ * depend on temperature, which the board/thermal models own).
+ */
+
+#ifndef PITON_ARCH_PITON_CHIP_HH
+#define PITON_ARCH_PITON_CHIP_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "arch/core.hh"
+#include "arch/mem_system.hh"
+#include "arch/memory.hh"
+#include "chip/chip_instance.hh"
+#include "common/types.hh"
+#include "config/piton_params.hh"
+#include "power/energy_model.hh"
+
+namespace piton::arch
+{
+
+class PitonChip
+{
+  public:
+    PitonChip(const config::PitonParams &params,
+              const chip::ChipInstance &instance,
+              const power::EnergyModel &energy,
+              std::uint64_t seed = 0xBEEF);
+
+    const config::PitonParams &params() const { return params_; }
+    const chip::ChipInstance &instance() const { return instance_; }
+
+    MainMemory &memory() { return memory_; }
+    MemorySystem &memSystem() { return *mem_; }
+    Core &core(TileId t) { return *cores_[t]; }
+    const Core &core(TileId t) const { return *cores_[t]; }
+
+    /** Load a program onto (tile, thread). */
+    void loadProgram(TileId tile, ThreadId tid, const isa::Program *program,
+                     const std::vector<std::pair<int, RegVal>> &init = {});
+
+    struct RunResult
+    {
+        Cycle cyclesElapsed = 0;
+        bool allHalted = false;
+    };
+
+    /** Advance until `max_cycles` more cycles elapse or all loaded
+     *  threads halt, whichever is first. */
+    RunResult run(Cycle max_cycles);
+
+    Cycle now() const { return now_; }
+
+    const power::EnergyLedger &ledger() const { return ledger_; }
+    power::EnergyLedger &ledger() { return ledger_; }
+
+    /** Sum of instructions executed by every thread. */
+    std::uint64_t totalInsts() const;
+
+    /** Chip-wide retired-instruction counts per energy class. */
+    std::array<std::uint64_t, static_cast<std::size_t>(
+                                  isa::InstClass::NumClasses)>
+    classCounts() const;
+
+    /** Enable/disable Execution Drafting on every core. */
+    void setExecDrafting(bool enabled);
+
+    /** Install a per-instruction trace hook on every core. */
+    void setTraceHook(Core::InstTraceHook hook);
+    /** Chip-wide drafted-instruction count. */
+    std::uint64_t draftedInsts() const;
+
+    /** Number of threads currently in the Ready state. */
+    std::uint32_t activeThreads() const;
+
+  private:
+    config::PitonParams params_;
+    chip::ChipInstance instance_;
+    const power::EnergyModel &energy_;
+    power::EnergyLedger ledger_;
+    MainMemory memory_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    Cycle now_ = 0;
+};
+
+} // namespace piton::arch
+
+#endif // PITON_ARCH_PITON_CHIP_HH

@@ -1,0 +1,27 @@
+#include "board/measurement.hh"
+
+namespace piton::board
+{
+
+PowerMeasurement
+collectMeasurement(TestBoard &test_board, std::uint32_t samples,
+                   const std::function<std::array<double, 3>()> &true_powers)
+{
+    PowerMeasurement m;
+    for (std::uint32_t i = 0; i < samples; ++i) {
+        const std::array<double, 3> p = true_powers();
+        const RailSample vdd =
+            test_board.sampleRail(power::Rail::Vdd, p[0]);
+        const RailSample vcs =
+            test_board.sampleRail(power::Rail::Vcs, p[1]);
+        const RailSample vio =
+            test_board.sampleRail(power::Rail::Vio, p[2]);
+        m.vddW.add(vdd.powerW());
+        m.vcsW.add(vcs.powerW());
+        m.vioW.add(vio.powerW());
+        m.onChipW.add(vdd.powerW() + vcs.powerW());
+    }
+    return m;
+}
+
+} // namespace piton::board

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The paper's measurement protocol: record 128 voltage/current samples
+ * from the I2C monitors (~7.5 s at 17 Hz) after the system reaches a
+ * steady state, and report the average power with the standard
+ * deviation of the samples as the error (Section III-A).
+ */
+
+#ifndef PITON_BOARD_MEASUREMENT_HH
+#define PITON_BOARD_MEASUREMENT_HH
+
+#include <array>
+#include <functional>
+
+#include "board/test_board.hh"
+#include "common/stats.hh"
+#include "power/rails.hh"
+
+namespace piton::board
+{
+
+/** A completed measurement: per-rail and combined-on-chip statistics. */
+struct PowerMeasurement
+{
+    RunningStats vddW;
+    RunningStats vcsW;
+    RunningStats vioW;
+    /** Per-sample VDD+VCS sum — the quantity the EPI studies use. */
+    RunningStats onChipW;
+
+    double onChipMeanW() const { return onChipW.mean(); }
+    double onChipStddevW() const { return onChipW.stddev(); }
+};
+
+/**
+ * Collect `samples` monitor readings.  `true_powers` is invoked once
+ * per sample and must return the true {VDD, VCS, VIO} rail powers in
+ * watts for that sample window (advancing the simulation as a side
+ * effect).
+ */
+PowerMeasurement
+collectMeasurement(TestBoard &test_board, std::uint32_t samples,
+                   const std::function<std::array<double, 3>()> &true_powers);
+
+} // namespace piton::board
+
+#endif // PITON_BOARD_MEASUREMENT_HH

@@ -1,0 +1,52 @@
+#include "chip/chip_instance.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace piton::chip
+{
+
+ChipInstance
+makeChip(int id, std::uint64_t variation_seed)
+{
+    ChipInstance c;
+    c.id = id;
+    c.name = "Chip #" + std::to_string(id);
+    switch (id) {
+      case 1:
+        // Fast corner: highest fmax at low V, ~32% extra leakage, runs
+        // into the cooling limit above 1.0 V (Fig. 9).
+        c.speedFactor = 1.045;
+        c.leakFactor = 1.32;
+        c.dynFactor = 1.06;
+        break;
+      case 2:
+        // Nominal die; all EnergyParams defaults are calibrated to it.
+        c.speedFactor = 1.0;
+        c.leakFactor = 1.0;
+        c.dynFactor = 1.0;
+        break;
+      case 3:
+        // Slightly slow/cold: static 364.8 mW vs 389.3 mW and idle
+        // 1906.2 mW vs 2015.3 mW imply ~0.94 leakage and ~0.95 dynamic.
+        c.speedFactor = 0.985;
+        c.leakFactor = 0.937;
+        c.dynFactor = 0.948;
+        break;
+      case 4:
+        // The thermal-study chip (Section IV-J).
+        c.speedFactor = 0.99;
+        c.leakFactor = 1.0;
+        c.dynFactor = 1.01;
+        break;
+      default:
+        piton_fatal("unknown chip id %d (calibrated chips are 1..4)", id);
+    }
+    Rng rng(variation_seed + static_cast<std::uint64_t>(id) * 0x9e37ULL);
+    c.tileDynFactor.resize(25);
+    for (auto &f : c.tileDynFactor)
+        f = rng.gaussian(1.0, 0.02);
+    return c;
+}
+
+} // namespace piton::chip

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-die process variation.
+ *
+ * The paper characterizes several physical chips: Chip #1 (fast but
+ * leaky — thermally limited at high voltage in Fig. 9), Chip #2 (the
+ * default for most studies, Table V), Chip #3 (microbenchmark studies,
+ * Section IV-H), and an unnamed fourth chip for the thermal analysis
+ * (Section IV-J).  A ChipInstance carries the variation knobs that
+ * separate those dies: a speed factor (multiplies fmax), a leakage
+ * factor, a dynamic-energy factor, and small per-tile factors that
+ * produce the inter-tile power variation the EPI methodology averages
+ * out by running on all 25 cores.
+ */
+
+#ifndef PITON_CHIP_CHIP_INSTANCE_HH
+#define PITON_CHIP_CHIP_INSTANCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace piton::chip
+{
+
+struct ChipInstance
+{
+    int id = 2;
+    std::string name = "Chip #2";
+
+    /** Multiplies VfModel::rawFmaxMhz. */
+    double speedFactor = 1.0;
+    /** Multiplies leakage power. */
+    double leakFactor = 1.0;
+    /** Multiplies dynamic (switching) energy chip-wide. */
+    double dynFactor = 1.0;
+
+    /** Per-tile dynamic-energy variation (25 entries, mean ~1.0). */
+    std::vector<double> tileDynFactor;
+
+    double
+    tileFactor(std::uint32_t tile) const
+    {
+        return tile < tileDynFactor.size() ? tileDynFactor[tile] : 1.0;
+    }
+};
+
+/**
+ * Named chips calibrated against the paper:
+ *  - Chip #1: fastest at low voltage, highest leakage (runs hot).
+ *  - Chip #2: nominal; static 389.3 mW / idle 2015.3 mW (Table V).
+ *  - Chip #3: static 364.8 mW / idle 1906.2 mW (Section IV-H).
+ *  - Chip #4: the thermal-study die (Section IV-J).
+ */
+ChipInstance makeChip(int id, std::uint64_t variation_seed = 1234);
+
+} // namespace piton::chip
+
+#endif // PITON_CHIP_CHIP_INSTANCE_HH

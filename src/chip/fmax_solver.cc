@@ -1,0 +1,105 @@
+#include "chip/fmax_solver.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace piton::chip
+{
+
+FmaxSolver::FmaxSolver(power::VfModel vf, power::EnergyModel energy,
+                       thermal::ThermalParams thermal,
+                       FmaxSolverParams params)
+    : vf_(vf), energy_(energy), thermalParams_(thermal), params_(params)
+{
+}
+
+double
+FmaxSolver::bootPowerW(const ChipInstance &chip_inst, double freq_mhz,
+                       double vdd_v, double vcs_v,
+                       double *die_temp_c) const
+{
+    energy_.setOperatingPoint(vdd_v, vcs_v);
+    const thermal::ThermalModel tm(thermalParams_);
+
+    // Dynamic power is temperature-independent; only leakage couples to
+    // the thermal network, so fixed-point iterate P <-> T.
+    const double dyn_w = energy_.idleCycleEnergy().onChipCoreAndSram()
+                         * params_.tiles * mhzToHz(freq_mhz)
+                         * chip_inst.dynFactor * params_.bootActivityFactor;
+    double temp = thermalParams_.ambientC;
+    double power = dyn_w;
+    constexpr int kMaxIters = 200;
+    for (int i = 0; i < kMaxIters; ++i) {
+        const double leak_w =
+            energy_.leakagePowerW(temp, chip_inst.leakFactor)
+                .onChipCoreAndSram();
+        power = dyn_w + leak_w;
+        const double new_temp = tm.steadyState(power).dieC;
+        if (std::abs(new_temp - temp) < 1e-4) {
+            temp = new_temp;
+            if (die_temp_c)
+                *die_temp_c = temp;
+            return power;
+        }
+        // Damped update for stability near runaway.
+        temp = 0.5 * temp + 0.5 * new_temp;
+        if (temp > 400.0)
+            break; // thermal runaway: no stable operating point
+    }
+    if (die_temp_c)
+        *die_temp_c = 1e6; // diverged
+    return power;
+}
+
+FmaxResult
+FmaxSolver::solve(const ChipInstance &chip_inst, double vdd_v,
+                  double vcs_v) const
+{
+    FmaxResult out;
+    out.rawMhz = vf_.rawFmaxMhz(vdd_v, chip_inst.speedFactor);
+
+    auto feasible = [&](double f_mhz, double *temp, double *power) {
+        double t = 0.0;
+        const double p = bootPowerW(chip_inst, f_mhz, vdd_v, vcs_v, &t);
+        if (temp)
+            *temp = t;
+        if (power)
+            *power = p;
+        return t <= params_.maxDieTempC;
+    };
+
+    double temp = 0.0, power = 0.0;
+    double f = out.rawMhz;
+    if (!feasible(f, &temp, &power)) {
+        out.thermallyLimited = true;
+        // Bisect on frequency for the cooling-limited point.  Zero
+        // frequency may itself be infeasible (leakage alone overheats);
+        // report zero in that (unphysical for our calibration) case.
+        double lo = 0.0, hi = f;
+        if (!feasible(lo, nullptr, nullptr)) {
+            out.fmaxMhz = 0.0;
+            out.dieTempC = temp;
+            out.powerW = power;
+            return out;
+        }
+        for (int i = 0; i < 60; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            if (feasible(mid, &temp, &power))
+                lo = mid;
+            else
+                hi = mid;
+        }
+        f = lo;
+        feasible(f, &temp, &power);
+    }
+
+    out.fmaxMhz = vf_.quantizeMhz(f);
+    out.nextStepMhz = vf_.nextStepMhz(f);
+    // Report the operating conditions at the quantized point.
+    feasible(out.fmaxMhz, &out.dieTempC, &out.powerW);
+    return out;
+}
+
+} // namespace piton::chip

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Thermally-aware maximum-frequency solver (Fig. 9).
+ *
+ * Fig. 9 reports, per chip and VDD point, the maximum core frequency at
+ * which Debian Linux boots.  Two limits interact:
+ *
+ *  1. the device limit, fmax(V) from the alpha-power delay model
+ *     scaled by the chip's speed factor; and
+ *  2. the cooling limit: at the boot workload's power the steady-state
+ *     die temperature must stay below the maximum junction temperature
+ *     given the (cavity-up, epoxy-encapsulated, socketed) package.
+ *
+ * Chip #1's higher leakage makes it fastest at low voltage but pushes
+ * it into limit (2) above ~1.0 V, with a severe frequency drop at
+ * 1.2 V — the solver reproduces that crossover.
+ */
+
+#ifndef PITON_CHIP_FMAX_SOLVER_HH
+#define PITON_CHIP_FMAX_SOLVER_HH
+
+#include "chip/chip_instance.hh"
+#include "power/energy_model.hh"
+#include "power/vf_model.hh"
+#include "thermal/thermal_model.hh"
+
+namespace piton::chip
+{
+
+struct FmaxSolverParams
+{
+    /** Junction temperature above which operation becomes unstable. */
+    double maxDieTempC = 100.0;
+    /** Boot-workload power relative to idle (Linux boot is light). */
+    double bootActivityFactor = 1.10;
+    /** Tiles clocked during boot. */
+    std::uint32_t tiles = 25;
+};
+
+struct FmaxResult
+{
+    double rawMhz = 0.0;        ///< device-limited frequency
+    double fmaxMhz = 0.0;       ///< reported (quantized, thermally limited)
+    double nextStepMhz = 0.0;   ///< next grid point (failed test, error bar)
+    bool thermallyLimited = false;
+    double dieTempC = 0.0;      ///< steady-state die temp at fmaxMhz
+    double powerW = 0.0;        ///< chip power at fmaxMhz
+};
+
+class FmaxSolver
+{
+  public:
+    FmaxSolver(power::VfModel vf, power::EnergyModel energy,
+               thermal::ThermalParams thermal,
+               FmaxSolverParams params = FmaxSolverParams{});
+
+    /**
+     * Solve for the maximum boot frequency of a chip at a VDD/VCS pair.
+     * The paper always sets VCS = VDD + 0.05 V; callers may pass any
+     * pair.
+     */
+    FmaxResult solve(const ChipInstance &chip_inst, double vdd_v,
+                     double vcs_v) const;
+
+    /**
+     * Chip power (W, VDD+VCS) at a frequency/voltage point including the
+     * leakage-temperature fixed point.  Returns the power and, through
+     * the out-parameter, the converged die temperature.  If the thermal
+     * loop diverges (runaway), temperature is reported above any
+     * realistic junction limit.
+     */
+    double bootPowerW(const ChipInstance &chip_inst, double freq_mhz,
+                      double vdd_v, double vcs_v, double *die_temp_c) const;
+
+  private:
+    power::VfModel vf_;
+    mutable power::EnergyModel energy_;
+    thermal::ThermalParams thermalParams_;
+    FmaxSolverParams params_;
+};
+
+} // namespace piton::chip
+
+#endif // PITON_CHIP_FMAX_SOLVER_HH

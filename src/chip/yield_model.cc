@@ -1,0 +1,214 @@
+#include "chip/yield_model.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace piton::chip
+{
+
+const char *
+dieStatusName(DieStatus s)
+{
+    switch (s) {
+      case DieStatus::Good: return "Good";
+      case DieStatus::UnstableDeterministic: return "Unstable*";
+      case DieStatus::BadVcsShort: return "Bad";
+      case DieStatus::BadVddShort: return "Bad";
+      case DieStatus::UnstableNondeterministic: return "Unstable*";
+      default:
+        piton_panic("bad DieStatus");
+    }
+}
+
+const char *
+dieStatusSymptom(DieStatus s)
+{
+    switch (s) {
+      case DieStatus::Good:
+        return "Stable operation";
+      case DieStatus::UnstableDeterministic:
+        return "Consistently fails deterministically";
+      case DieStatus::BadVcsShort:
+        return "High VCS current draw";
+      case DieStatus::BadVddShort:
+        return "High VDD current draw";
+      case DieStatus::UnstableNondeterministic:
+        return "Consistently fails nondeterministically";
+      default:
+        piton_panic("bad DieStatus");
+    }
+}
+
+const char *
+dieStatusCause(DieStatus s)
+{
+    switch (s) {
+      case DieStatus::Good: return "N/A";
+      case DieStatus::UnstableDeterministic: return "Bad SRAM cells";
+      case DieStatus::BadVcsShort: return "Short";
+      case DieStatus::BadVddShort: return "Short";
+      case DieStatus::UnstableNondeterministic: return "Unstable SRAM cells";
+      default:
+        piton_panic("bad DieStatus");
+    }
+}
+
+bool
+possiblyRepairable(DieStatus s)
+{
+    return s == DieStatus::UnstableDeterministic
+           || s == DieStatus::UnstableNondeterministic;
+}
+
+YieldModel::YieldModel(YieldParams params) : params_(params)
+{
+    piton_assert(params_.sramBits > 0, "sramBits must be positive");
+}
+
+DieStatus
+YieldModel::classifyDie(Rng &rng) const
+{
+    // Shorts show up first at power-on as abnormal current draw and
+    // prevent any functional testing.
+    const double p_vcs_short = 1.0 - std::exp(-params_.vcsShortMean);
+    if (rng.chance(p_vcs_short))
+        return DieStatus::BadVcsShort;
+    const double p_vdd_short = 1.0 - std::exp(-params_.vddShortMean);
+    if (rng.chance(p_vdd_short))
+        return DieStatus::BadVddShort;
+
+    // Functional testing: hard SRAM defects cause deterministic
+    // failures; marginal cells cause nondeterministic ones.
+    const double lambda_hard =
+        static_cast<double>(params_.sramBits) * params_.sramDefectPerBit;
+    if (rng.chance(1.0 - std::exp(-lambda_hard)))
+        return DieStatus::UnstableDeterministic;
+    const double lambda_soft =
+        static_cast<double>(params_.sramBits) * params_.sramUnstablePerBit;
+    if (rng.chance(1.0 - std::exp(-lambda_soft)))
+        return DieStatus::UnstableNondeterministic;
+    return DieStatus::Good;
+}
+
+TestingStats
+YieldModel::testDies(std::uint32_t n, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    TestingStats out;
+    for (std::uint32_t i = 0; i < n; ++i)
+        ++out.counts[static_cast<std::size_t>(classifyDie(rng))];
+    return out;
+}
+
+std::uint32_t
+YieldModel::poisson(Rng &rng, double mean)
+{
+    const double limit = std::exp(-mean);
+    std::uint32_t k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+}
+
+bool
+YieldModel::defectsRepairable(Rng &rng, std::uint32_t defects,
+                              const RepairConfig &repair)
+{
+    if (defects == 0)
+        return true;
+    // Throw each defect into a random array; any array over its spare
+    // budget makes the die unrepairable.
+    std::vector<std::uint32_t> per_array(repair.arraysPerDie, 0);
+    for (std::uint32_t d = 0; d < defects; ++d) {
+        const auto a =
+            static_cast<std::size_t>(rng.below(repair.arraysPerDie));
+        if (++per_array[a] > repair.sparesPerArray)
+            return false;
+    }
+    return true;
+}
+
+DieStatus
+YieldModel::classifyDieWithRepair(Rng &rng,
+                                  const RepairConfig &repair) const
+{
+    // Shorts are not repairable: same screening as before.
+    if (rng.chance(1.0 - std::exp(-params_.vcsShortMean)))
+        return DieStatus::BadVcsShort;
+    if (rng.chance(1.0 - std::exp(-params_.vddShortMean)))
+        return DieStatus::BadVddShort;
+
+    const double lambda_hard =
+        static_cast<double>(params_.sramBits) * params_.sramDefectPerBit;
+    const std::uint32_t hard = poisson(rng, lambda_hard);
+    if (hard > 0 && !defectsRepairable(rng, hard, repair))
+        return DieStatus::UnstableDeterministic;
+
+    const double lambda_soft =
+        static_cast<double>(params_.sramBits) * params_.sramUnstablePerBit;
+    const std::uint32_t soft = poisson(rng, lambda_soft);
+    if (soft > 0 && !defectsRepairable(rng, soft, repair))
+        return DieStatus::UnstableNondeterministic;
+
+    return DieStatus::Good;
+}
+
+TestingStats
+YieldModel::testDiesWithRepair(std::uint32_t n, std::uint64_t seed,
+                               const RepairConfig &repair) const
+{
+    Rng rng(seed);
+    TestingStats out;
+    for (std::uint32_t i = 0; i < n; ++i)
+        ++out.counts[static_cast<std::size_t>(
+            classifyDieWithRepair(rng, repair))];
+    return out;
+}
+
+double
+YieldModel::goodYield(std::uint32_t samples, std::uint64_t seed,
+                      const RepairConfig *repair) const
+{
+    const TestingStats s = repair
+                               ? testDiesWithRepair(samples, seed, *repair)
+                               : testDies(samples, seed);
+    return s.percent(DieStatus::Good) / 100.0;
+}
+
+double
+YieldModel::probabilityOf(DieStatus s) const
+{
+    const double p_vcs = 1.0 - std::exp(-params_.vcsShortMean);
+    const double p_vdd =
+        (1.0 - p_vcs) * (1.0 - std::exp(-params_.vddShortMean));
+    const double survive_shorts = 1.0 - p_vcs - p_vdd;
+    const double p_hard =
+        1.0
+        - std::exp(-static_cast<double>(params_.sramBits)
+                   * params_.sramDefectPerBit);
+    const double p_soft =
+        1.0
+        - std::exp(-static_cast<double>(params_.sramBits)
+                   * params_.sramUnstablePerBit);
+    switch (s) {
+      case DieStatus::BadVcsShort:
+        return p_vcs;
+      case DieStatus::BadVddShort:
+        return p_vdd;
+      case DieStatus::UnstableDeterministic:
+        return survive_shorts * p_hard;
+      case DieStatus::UnstableNondeterministic:
+        return survive_shorts * (1.0 - p_hard) * p_soft;
+      case DieStatus::Good:
+        return survive_shorts * (1.0 - p_hard) * (1.0 - p_soft);
+      default:
+        piton_panic("bad DieStatus");
+    }
+}
+
+} // namespace piton::chip

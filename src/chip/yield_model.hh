@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Die-testing / yield model (Table IV).
+ *
+ * The paper tests 32 randomly selected packaged dies from a two-wafer
+ * multi-project run and classifies them by symptom: stable operation,
+ * deterministic failures (bad SRAM cells), high VCS or VDD current draw
+ * (shorts), and nondeterministic failures (unstable SRAM cells).
+ *
+ * We model the defect mechanisms directly: Poisson-distributed SRAM
+ * cell defects over the die's ~20 Mbit of SRAM, and per-die short
+ * probabilities on the two supply networks.  Shorts are detected first
+ * during bring-up (current draw), masking any SRAM symptoms.
+ */
+
+#ifndef PITON_CHIP_YIELD_MODEL_HH
+#define PITON_CHIP_YIELD_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace piton::chip
+{
+
+/** The five symptom classes of Table IV. */
+enum class DieStatus : std::size_t
+{
+    Good,                   ///< stable operation
+    UnstableDeterministic,  ///< consistently fails deterministically
+    BadVcsShort,            ///< high VCS current draw
+    BadVddShort,            ///< high VDD current draw
+    UnstableNondeterministic, ///< fails nondeterministically
+
+    NumStatuses
+};
+
+const char *dieStatusName(DieStatus s);
+const char *dieStatusSymptom(DieStatus s);
+const char *dieStatusCause(DieStatus s);
+
+/** True for the two classes the paper marks fixable with SRAM repair. */
+bool possiblyRepairable(DieStatus s);
+
+struct YieldParams
+{
+    /** SRAM bits per die (L1I+L1D+L1.5+L2 across 25 tiles ~ 20 Mbit). */
+    std::uint64_t sramBits = 20'132'659;
+    /** Hard (deterministic) defect probability per SRAM bit. */
+    double sramDefectPerBit = 1.50e-8;
+    /** Marginal (nondeterministic) defect probability per SRAM bit. */
+    double sramUnstablePerBit = 1.60e-9;
+    /** Expected VCS-network shorts per die (Poisson mean). */
+    double vcsShortMean = 0.1335;
+    /** Expected VDD-network shorts per die (Poisson mean). */
+    double vddShortMean = 0.0325;
+};
+
+struct TestingStats
+{
+    std::array<std::uint32_t, static_cast<std::size_t>(
+                                  DieStatus::NumStatuses)>
+        counts{};
+    std::uint32_t
+    total() const
+    {
+        std::uint32_t t = 0;
+        for (auto c : counts)
+            t += c;
+        return t;
+    }
+    std::uint32_t
+    of(DieStatus s) const
+    {
+        return counts[static_cast<std::size_t>(s)];
+    }
+    double
+    percent(DieStatus s) const
+    {
+        return total() ? 100.0 * of(s) / total() : 0.0;
+    }
+};
+
+/**
+ * SRAM repair configuration.  Piton can remap rows and columns in its
+ * SRAMs to repair bad cells (the paper notes the repair flow was still
+ * in development — Table IV's footnote marks the classes it would
+ * recover).  A die is repairable when no single SRAM array holds more
+ * defects than its spare resources can remap.
+ */
+struct RepairConfig
+{
+    /** Spare row/column resources per SRAM array. */
+    std::uint32_t sparesPerArray = 2;
+    /** SRAM arrays per die (L1I/L1D/L1.5/L2 data+tag across 25 tiles). */
+    std::uint32_t arraysPerDie = 125;
+};
+
+class YieldModel
+{
+  public:
+    explicit YieldModel(YieldParams params = YieldParams{});
+
+    const YieldParams &params() const { return params_; }
+
+    /** Bring-up classification of a single die. */
+    DieStatus classifyDie(Rng &rng) const;
+
+    /** Test a batch of dies (the paper's n = 32). */
+    TestingStats testDies(std::uint32_t n, std::uint64_t seed) const;
+
+    /** Closed-form probability of each classification. */
+    double probabilityOf(DieStatus s) const;
+
+    /**
+     * Classification after running the SRAM repair flow: dies whose
+     * (deterministic or marginal) SRAM defects all fit within the
+     * per-array spares are reclassified as Good.
+     */
+    DieStatus classifyDieWithRepair(Rng &rng,
+                                    const RepairConfig &repair) const;
+
+    TestingStats testDiesWithRepair(std::uint32_t n, std::uint64_t seed,
+                                    const RepairConfig &repair) const;
+
+    /** Monte-Carlo good-die yield with and without repair. */
+    double goodYield(std::uint32_t samples, std::uint64_t seed,
+                     const RepairConfig *repair = nullptr) const;
+
+  private:
+    /** Poisson sample (Knuth's method; our means are < 1). */
+    static std::uint32_t poisson(Rng &rng, double mean);
+
+    /** True if `defects` thrown into arraysPerDie arrays never exceed
+     *  sparesPerArray in any one array. */
+    static bool defectsRepairable(Rng &rng, std::uint32_t defects,
+                                  const RepairConfig &repair);
+
+    YieldParams params_;
+};
+
+} // namespace piton::chip
+
+#endif // PITON_CHIP_YIELD_MODEL_HH

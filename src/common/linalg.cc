@@ -1,0 +1,71 @@
+#include "common/linalg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace piton
+{
+
+std::vector<double>
+solveLinearSystem(std::vector<double> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    piton_assert(a.size() == n * n, "matrix/vector size mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col]))
+                pivot = r;
+        }
+        if (std::abs(a[pivot * n + col]) < 1e-12)
+            return {}; // singular
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a[col * n + c], a[pivot * n + c]);
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r * n + col] / a[col * n + col];
+            for (std::size_t c = col; c < n; ++c)
+                a[r * n + c] -= f * a[col * n + c];
+            b[r] -= f * b[col];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            sum -= a[i * n + c] * x[c];
+        x[i] = sum / a[i * n + i];
+    }
+    return x;
+}
+
+std::vector<double>
+leastSquares(const std::vector<double> &a, std::size_t rows,
+             std::size_t cols, const std::vector<double> &b)
+{
+    piton_assert(a.size() == rows * cols && b.size() == rows,
+                 "least-squares size mismatch");
+    piton_assert(rows >= cols, "underdetermined system");
+
+    // Normal equations: (A^T A) x = A^T b.
+    std::vector<double> ata(cols * cols, 0.0);
+    std::vector<double> atb(cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            atb[i] += a[r * cols + i] * b[r];
+            for (std::size_t j = 0; j < cols; ++j)
+                ata[i * cols + j] += a[r * cols + i] * a[r * cols + j];
+        }
+    }
+    return solveLinearSystem(std::move(ata), std::move(atb));
+}
+
+} // namespace piton

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tiny dense linear algebra: ordinary least squares via normal
+ * equations with partial-pivot Gaussian elimination.  Used by the
+ * power-model fitting framework (the paper's primary open-data use
+ * case: "enables researchers to build accurate power models").
+ */
+
+#ifndef PITON_COMMON_LINALG_HH
+#define PITON_COMMON_LINALG_HH
+
+#include <vector>
+
+namespace piton
+{
+
+/**
+ * Solve the square system A x = b in place (partial pivoting).
+ * @param a row-major n*n matrix (destroyed)
+ * @param b right-hand side (destroyed)
+ * @return the solution vector, or empty if A is (numerically) singular.
+ */
+std::vector<double> solveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b);
+
+/**
+ * Ordinary least squares: find x minimizing ||A x - b||^2 where A is
+ * rows x cols (row-major), rows >= cols.  Returns empty on a singular
+ * normal matrix.
+ */
+std::vector<double> leastSquares(const std::vector<double> &a,
+                                 std::size_t rows, std::size_t cols,
+                                 const std::vector<double> &b);
+
+} // namespace piton
+
+#endif // PITON_COMMON_LINALG_HH

@@ -1,0 +1,59 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <exception>
+#include <stdexcept>
+
+namespace piton
+{
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<size_t>(len));
+        std::vsnprintf(out.data(), static_cast<size_t>(len) + 1, fmt,
+                       args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throwing instead of abort() lets tests assert on panics; the
+    // exception type is deliberately distinct from std::runtime_error
+    // users might catch.
+    throw std::logic_error(msg + " (" + file + ":" + std::to_string(line)
+                           + ")");
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace piton

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * fatal()  - the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * panic()  - an internal invariant was violated (a library bug); aborts.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef PITON_COMMON_LOGGING_HH
+#define PITON_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace piton
+{
+
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace piton
+
+#define piton_fatal(...) \
+    ::piton::fatalImpl(__FILE__, __LINE__, ::piton::csprintf(__VA_ARGS__))
+#define piton_panic(...) \
+    ::piton::panicImpl(__FILE__, __LINE__, ::piton::csprintf(__VA_ARGS__))
+#define piton_warn(...) ::piton::warnImpl(::piton::csprintf(__VA_ARGS__))
+#define piton_inform(...) ::piton::informImpl(::piton::csprintf(__VA_ARGS__))
+
+/** Internal invariant check that survives NDEBUG builds. */
+#define piton_assert(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::piton::panicImpl(__FILE__, __LINE__,                            \
+                               std::string("assertion failed: " #cond " — ") \
+                                   + ::piton::csprintf(__VA_ARGS__));         \
+        }                                                                     \
+    } while (0)
+
+#endif // PITON_COMMON_LOGGING_HH

@@ -1,0 +1,95 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace piton
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    piton_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    piton_assert(cells.size() == headers_.size(),
+                 "row has %zu cells, table has %zu columns", cells.size(),
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    total += 2 * (widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::string &cell = cells[i];
+        const bool needs_quote =
+            cell.find_first_of(",\"\n") != std::string::npos;
+        if (needs_quote) {
+            os_ << '"';
+            for (char ch : cell) {
+                if (ch == '"')
+                    os_ << '"';
+                os_ << ch;
+            }
+            os_ << '"';
+        } else {
+            os_ << cell;
+        }
+        if (i + 1 < cells.size())
+            os_ << ',';
+    }
+    os_ << '\n';
+}
+
+std::string
+fmtF(double value, int decimals)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << value;
+    return ss.str();
+}
+
+std::string
+fmtPm(double mean, double err, int decimals)
+{
+    return fmtF(mean, decimals) + "±" + fmtF(err, decimals);
+}
+
+} // namespace piton

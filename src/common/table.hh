@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters.
+ *
+ * Every bench binary prints the rows/series of one paper table or figure
+ * through TextTable (human-readable, aligned) and can mirror the same
+ * data to CSV (the paper open-sources all collected data; CsvWriter is
+ * our equivalent of that release format).
+ */
+
+#ifndef PITON_COMMON_TABLE_HH
+#define PITON_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace piton
+{
+
+/** Aligned fixed-width text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with column alignment and a separator under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** RFC-4180-ish CSV writer (quotes cells containing commas/quotes). */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    void writeRow(const std::vector<std::string> &cells);
+
+  private:
+    std::ostream &os_;
+};
+
+/** Format a double with a fixed number of decimals. */
+std::string fmtF(double value, int decimals = 2);
+
+/** Format "mean±err" the way the paper reports measurements. */
+std::string fmtPm(double mean, double err, int decimals = 1);
+
+} // namespace piton
+
+#endif // PITON_COMMON_TABLE_HH

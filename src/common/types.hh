@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ *
+ * Physical quantities are carried as plain doubles with the unit encoded
+ * in the variable / field name suffix, following the conventions:
+ *   _v (volts), _a (amps), _w (watts), _mw (milliwatts), _j (joules),
+ *   _nj (nanojoules), _pj (picojoules), _mhz (megahertz), _hz (hertz),
+ *   _c (degrees Celsius), _s (seconds), _mm2 (square millimetres).
+ */
+
+#ifndef PITON_COMMON_TYPES_HH
+#define PITON_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace piton
+{
+
+/** Simulated clock cycle count (core clock domain unless noted). */
+using Cycle = std::uint64_t;
+
+/** Physical memory address. */
+using Addr = std::uint64_t;
+
+/** 64-bit architectural register value. */
+using RegVal = std::uint64_t;
+
+/** Tile index in the 5x5 mesh, row-major: tile = y * meshWidth + x. */
+using TileId = std::uint32_t;
+
+/** Hardware thread index within a core. */
+using ThreadId = std::uint32_t;
+
+/** Unit conversion helpers. */
+constexpr double mwToW(double mw) { return mw * 1e-3; }
+constexpr double wToMw(double w) { return w * 1e3; }
+constexpr double pjToJ(double pj) { return pj * 1e-12; }
+constexpr double jToPj(double j) { return j * 1e12; }
+constexpr double njToJ(double nj) { return nj * 1e-9; }
+constexpr double jToNj(double j) { return j * 1e9; }
+constexpr double mhzToHz(double mhz) { return mhz * 1e6; }
+constexpr double hzToMhz(double hz) { return hz * 1e-6; }
+
+} // namespace piton
+
+#endif // PITON_COMMON_TYPES_HH

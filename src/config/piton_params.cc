@@ -1,0 +1,41 @@
+#include "config/piton_params.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace piton::config
+{
+
+SystemConfig
+defaultSystemConfig()
+{
+    return SystemConfig{};
+}
+
+TileCoord
+tileCoord(const PitonParams &p, TileId t)
+{
+    piton_assert(t < p.tileCount, "tile id %u out of range", t);
+    return TileCoord{t % p.meshWidth, t / p.meshWidth};
+}
+
+TileId
+tileIdAt(const PitonParams &p, std::uint32_t x, std::uint32_t y)
+{
+    piton_assert(x < p.meshWidth && y < p.meshHeight,
+                 "tile coordinate (%u,%u) out of range", x, y);
+    return y * p.meshWidth + x;
+}
+
+std::uint32_t
+hopDistance(const PitonParams &p, TileId a, TileId b)
+{
+    const TileCoord ca = tileCoord(p, a);
+    const TileCoord cb = tileCoord(p, b);
+    const auto dx = static_cast<std::int64_t>(ca.x) - cb.x;
+    const auto dy = static_cast<std::int64_t>(ca.y) - cb.y;
+    return static_cast<std::uint32_t>(std::llabs(dx) + std::llabs(dy));
+}
+
+} // namespace piton::config

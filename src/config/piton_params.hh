@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Architectural and measurement parameters of the Piton system.
+ *
+ * These structs are the single source of truth for the numbers in the
+ * paper's Table I (Piton parameter summary), Table II (experimental
+ * system frequencies), and Table III (default measurement parameters).
+ * Every other subsystem (arch, power, board, perfmodel) consumes them
+ * from here, so a parameter sweep only ever edits one place.
+ */
+
+#ifndef PITON_CONFIG_PITON_PARAMS_HH
+#define PITON_CONFIG_PITON_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace piton::config
+{
+
+/** Geometry / capacity of one cache. */
+struct CacheParams
+{
+    std::uint32_t sizeBytes;
+    std::uint32_t associativity;
+    std::uint32_t lineBytes;
+
+    std::uint32_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint32_t numSets() const { return numLines() / associativity; }
+};
+
+/** Which address bits select the L2 slice ("home" tile) for a line. */
+enum class LineToSliceMapping
+{
+    LowOrder,  ///< bits just above the line offset (default)
+    MidOrder,  ///< middle address bits
+    HighOrder, ///< high address bits
+};
+
+/** Table I: Piton parameter summary. */
+struct PitonParams
+{
+    std::string process = "IBM 32nm SOI";
+    double dieAreaMm2 = 36.0;            // 6mm x 6mm
+    double dieEdgeMm = 6.0;
+    std::uint64_t transistorCount = 460'000'000;
+    std::string package = "208-pin QFP";
+
+    double nominalVddV = 1.00;  ///< core logic supply
+    double nominalVcsV = 1.05;  ///< SRAM supply
+    double nominalVioV = 1.80;  ///< I/O supply
+
+    std::uint32_t offChipInterfaceBits = 32; ///< each direction
+
+    std::uint32_t meshWidth = 5;
+    std::uint32_t meshHeight = 5;
+    std::uint32_t tileCount = 25;
+    std::uint32_t nocCount = 3;
+    std::uint32_t nocWidthBits = 64; ///< each direction
+    std::uint32_t coresPerTile = 1;
+    std::uint32_t threadsPerCore = 2;
+    std::uint32_t totalThreads = 50;
+
+    std::string coreIsa = "SPARC V9";
+    std::uint32_t corePipelineDepth = 6;
+    std::uint32_t storeBufferEntries = 8;
+
+    CacheParams l1i{16 * 1024, 4, 32};
+    CacheParams l1d{8 * 1024, 4, 16};
+    CacheParams l15{8 * 1024, 4, 16};
+    CacheParams l2Slice{64 * 1024, 4, 64};
+
+    std::string coherenceProtocol = "Directory-based MESI";
+    std::string coherencePoint = "L2 Cache";
+
+    /** Tile pitch (center-to-center NoC routing distance), Section IV-G. */
+    double tilePitchXMm = 1.14452;
+    double tilePitchYMm = 1.053;
+
+    LineToSliceMapping sliceMapping = LineToSliceMapping::LowOrder;
+
+    /** Aggregate L2 capacity across the chip. */
+    std::uint64_t
+    totalL2Bytes() const
+    {
+        return static_cast<std::uint64_t>(l2Slice.sizeBytes) * tileCount;
+    }
+};
+
+/** Table II: frequencies of the experimental system interfaces. */
+struct SystemFrequencies
+{
+    double gatewayToPitonMhz = 180.0;
+    double gatewayToChipsetMhz = 180.0;
+    double chipsetLogicMhz = 280.0;
+    double dramPhyMhz = 800.0;      // 1600 MT/s
+    double dramControllerMhz = 200.0;
+    double sdCardSpiMhz = 20.0;
+    double uartBps = 115200.0;
+};
+
+/** Table III: default Piton measurement parameters. */
+struct MeasurementDefaults
+{
+    double vddV = 1.00;
+    double vcsV = 1.05;
+    double vioV = 1.80;
+    double coreClockMhz = 500.05;
+    double roomTempC = 20.0;
+    /** Samples per measurement (Section III-A). */
+    std::uint32_t monitorSamples = 128;
+    /** Monitor polling rate limitation (Section III-A). */
+    double monitorPollHz = 17.0;
+};
+
+/** The complete default configuration used throughout the paper. */
+struct SystemConfig
+{
+    PitonParams piton;
+    SystemFrequencies freqs;
+    MeasurementDefaults defaults;
+};
+
+/** Factory for the configuration matching the paper's Tables I-III. */
+SystemConfig defaultSystemConfig();
+
+/** Manhattan routing hop distance between two tiles in the mesh. */
+std::uint32_t hopDistance(const PitonParams &p, TileId a, TileId b);
+
+/** Tile coordinates from a TileId (row-major). */
+struct TileCoord
+{
+    std::uint32_t x;
+    std::uint32_t y;
+};
+TileCoord tileCoord(const PitonParams &p, TileId t);
+TileId tileIdAt(const PitonParams &p, std::uint32_t x, std::uint32_t y);
+
+} // namespace piton::config
+
+#endif // PITON_CONFIG_PITON_PARAMS_HH

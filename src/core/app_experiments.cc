@@ -1,0 +1,64 @@
+#include "core/app_experiments.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace piton::core
+{
+
+perfmodel::SpecModel
+makePaperSpecModel()
+{
+    return perfmodel::SpecModel(perfmodel::sunFireT2000(),
+                                perfmodel::pitonSystem(),
+                                power::EnergyModel(), 2.0153);
+}
+
+PowerTimeSeriesExperiment::PowerTimeSeriesExperiment(std::uint64_t seed)
+    : seed_(seed)
+{
+}
+
+std::vector<TimeSeriesPoint>
+PowerTimeSeriesExperiment::run(const workloads::SpecBenchmark &bench,
+                               double sample_period_s, double max_seconds)
+{
+    const perfmodel::SpecModel model = makePaperSpecModel();
+    const perfmodel::SpecResult r = model.evaluate(bench);
+    const double duration =
+        std::min(max_seconds, r.pitonMinutes * 60.0);
+
+    Rng rng(seed_);
+    board::TestBoard tb(seed_ ^ 0xF16);
+
+    std::vector<TimeSeriesPoint> out;
+    // Program phases: piecewise-constant activity segments 20..120 s
+    // long; occasional I/O bursts (dominant for hmmer/libquantum).
+    double seg_end = 0.0;
+    double activity = 1.0;
+    double io_burst = 1.0;
+    for (double t = 0.0; t < duration; t += sample_period_s) {
+        if (t >= seg_end) {
+            seg_end = t + rng.uniform(20.0, 120.0);
+            activity = rng.uniform(0.7, 1.3);
+            // I/O bursts scale with the benchmark's I/O factor.
+            io_burst = rng.chance(0.3) ? rng.uniform(2.0, 4.0) : 1.0;
+        }
+        auto rails = model.pitonRailPowers(bench, activity);
+        rails[2] *= io_burst;
+
+        TimeSeriesPoint pt;
+        pt.timeS = t;
+        pt.coreMw =
+            wToMw(tb.sampleRail(power::Rail::Vdd, rails[0]).powerW());
+        pt.sramMw =
+            wToMw(tb.sampleRail(power::Rail::Vcs, rails[1]).powerW());
+        pt.ioMw =
+            wToMw(tb.sampleRail(power::Rail::Vio, rails[2]).powerW());
+        out.push_back(pt);
+    }
+    return out;
+}
+
+} // namespace piton::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Application-level experiments: the SPECint study (Table IX), the
+ * per-supply power time series of a full benchmark run (Fig. 16), and
+ * the system-comparison data of Table VIII.
+ */
+
+#ifndef PITON_CORE_APP_EXPERIMENTS_HH
+#define PITON_CORE_APP_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "board/test_board.hh"
+#include "perfmodel/spec_model.hh"
+
+namespace piton::core
+{
+
+/** A SpecModel wired to the paper's two machines and Chip #2. */
+perfmodel::SpecModel makePaperSpecModel();
+
+struct TimeSeriesPoint
+{
+    double timeS = 0.0;
+    double coreMw = 0.0; ///< VDD rail
+    double ioMw = 0.0;   ///< VIO rail
+    double sramMw = 0.0; ///< VCS rail
+};
+
+/**
+ * Fig. 16: the power of each supply over an entire benchmark run.
+ * The benchmark's program phases modulate core activity and, for the
+ * high-I/O benchmarks, VIO activity; the monitor chain adds its noise.
+ */
+class PowerTimeSeriesExperiment
+{
+  public:
+    explicit PowerTimeSeriesExperiment(std::uint64_t seed = 0x916);
+
+    /**
+     * Synthesize the phase-modulated run of one benchmark profile,
+     * sampled every `sample_period_s` seconds over the modelled Piton
+     * execution time (capped at `max_seconds` for plotting).
+     */
+    std::vector<TimeSeriesPoint>
+    run(const workloads::SpecBenchmark &bench, double sample_period_s = 2.0,
+        double max_seconds = 2000.0);
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace piton::core
+
+#endif // PITON_CORE_APP_EXPERIMENTS_HH

@@ -1,0 +1,167 @@
+#include "core/epi_experiment.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/equations.hh"
+
+namespace piton::core
+{
+
+EpiExperiment::EpiExperiment(sim::SystemOptions base_options,
+                             std::uint32_t samples)
+    : opts_(base_options), samples_(samples)
+{
+}
+
+double
+EpiExperiment::idlePowerW()
+{
+    if (idleW_ < 0.0) {
+        sim::System sys(opts_);
+        const auto m = sys.measure(samples_);
+        idleW_ = m.onChipMeanW();
+        idleErrW_ = m.onChipStddevW();
+    }
+    return idleW_;
+}
+
+double
+EpiExperiment::measureInstPowerW(const workloads::EpiVariant &variant,
+                                 workloads::OperandPattern pattern,
+                                 double *stddev_w)
+{
+    sim::System sys(opts_);
+    std::vector<isa::Program> programs;
+    programs.reserve(25);
+    for (TileId t = 0; t < 25; ++t) {
+        programs.push_back(
+            workloads::makeEpiProgram(variant, pattern, t));
+        workloads::initEpiMemory(sys.pitonChip().memory(), pattern, t);
+        // Run the test on all 25 cores to average out inter-tile power
+        // variation (Section IV-E).
+        sys.loadProgram(t, 0, &programs.back());
+    }
+    const auto m = sys.measure(samples_);
+    if (stddev_w)
+        *stddev_w = m.onChipStddevW();
+    return m.onChipMeanW();
+}
+
+EpiRow
+EpiExperiment::measure(const workloads::EpiVariant &variant,
+                       workloads::OperandPattern pattern)
+{
+    const double p_idle = idlePowerW();
+    double sigma = 0.0;
+    const double p_inst = measureInstPowerW(variant, pattern, &sigma);
+    const double f = mhzToHz(opts_.coreClockMhz);
+
+    double epi_j = epiJoules(p_inst, p_idle, f, variant.latency, 25);
+    double err_j =
+        std::sqrt(sigma * sigma + idleErrW_ * idleErrW_) / 25.0 / f
+        * variant.latency;
+
+    if (variant.padNops > 0) {
+        // stx(NF): the measured 10-cycle slot contains one store and
+        // nine nops; subtract the nop energy (Section IV-E).
+        if (nopEpiPj_ < 0.0) {
+            const EpiRow nop_row = measure(
+                workloads::epiVariant("nop"), workloads::OperandPattern::Random);
+            nopEpiPj_ = nop_row.epiPj;
+        }
+        epi_j -= variant.padNops * pjToJ(nopEpiPj_);
+    }
+
+    EpiRow row;
+    row.variant = variant.label;
+    row.pattern = pattern;
+    row.epiPj = jToPj(epi_j);
+    row.errPj = jToPj(err_j);
+    return row;
+}
+
+std::vector<EpiRow>
+EpiExperiment::runAll()
+{
+    std::vector<EpiRow> rows;
+    for (const auto &v : workloads::epiVariants()) {
+        if (v.hasOperands) {
+            for (const auto p : {workloads::OperandPattern::Minimum,
+                                 workloads::OperandPattern::Random,
+                                 workloads::OperandPattern::Maximum})
+                rows.push_back(measure(v, p));
+        } else {
+            rows.push_back(measure(v, workloads::OperandPattern::Random));
+        }
+    }
+    return rows;
+}
+
+MemoryEnergyExperiment::MemoryEnergyExperiment(
+    sim::SystemOptions base_options, std::uint32_t samples)
+    : opts_(base_options), samples_(samples)
+{
+}
+
+MemoryEnergyRow
+MemoryEnergyExperiment::measure(workloads::MemoryScenario scenario)
+{
+    using workloads::MemoryScenario;
+    const bool remote = scenario == MemoryScenario::RemoteL2Hit4
+                        || scenario == MemoryScenario::RemoteL2Hit8;
+    const std::uint32_t cores = remote ? 1 : 25;
+
+    // Idle reference.
+    double p_idle = 0.0, idle_err = 0.0;
+    {
+        sim::System sys(opts_);
+        const auto m = sys.measure(samples_);
+        p_idle = m.onChipMeanW();
+        idle_err = m.onChipStddevW();
+    }
+
+    sim::System sys(opts_);
+    Rng rng(0x7E57 + static_cast<std::uint64_t>(scenario));
+    std::vector<isa::Program> programs;
+    std::vector<workloads::MemoryTestPlan> plans;
+    programs.reserve(cores);
+    plans.reserve(cores);
+    for (TileId t = 0; t < cores; ++t) {
+        plans.push_back(workloads::makeMemoryTestPlan(scenario, t));
+        workloads::initMemoryTestData(sys.pitonChip().memory(),
+                                      plans.back(), rng);
+        programs.push_back(
+            workloads::makeMemoryTestProgram(plans.back()));
+        sys.loadProgram(t, 0, &programs.back());
+    }
+
+    const auto m = sys.measure(samples_);
+    const double f = mhzToHz(opts_.coreClockMhz);
+    const std::uint32_t latency = workloads::memoryScenarioLatency(scenario);
+
+    MemoryEnergyRow row;
+    row.scenario = scenario;
+    row.latency = latency;
+    row.energyNj =
+        jToNj(epiJoules(m.onChipMeanW(), p_idle, f, latency, cores));
+    row.errNj = jToNj(std::sqrt(m.onChipStddevW() * m.onChipStddevW()
+                                + idle_err * idle_err)
+                      / cores / f * latency);
+    return row;
+}
+
+std::vector<MemoryEnergyRow>
+MemoryEnergyExperiment::runAll()
+{
+    using workloads::MemoryScenario;
+    std::vector<MemoryEnergyRow> rows;
+    for (const auto s :
+         {MemoryScenario::L1Hit, MemoryScenario::LocalL2Hit,
+          MemoryScenario::RemoteL2Hit4, MemoryScenario::RemoteL2Hit8,
+          MemoryScenario::L2Miss})
+        rows.push_back(measure(s));
+    return rows;
+}
+
+} // namespace piton::core

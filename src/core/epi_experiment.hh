@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The EPI study (Fig. 11) and memory-system energy study (Table VII),
+ * run end-to-end with the paper's methodology: assembly tests on the
+ * simulated silicon, measured through the board's monitor chain, EPI
+ * derived with the equations of Section IV-E.
+ */
+
+#ifndef PITON_CORE_EPI_EXPERIMENT_HH
+#define PITON_CORE_EPI_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workloads/epi_tests.hh"
+#include "workloads/memory_tests.hh"
+
+namespace piton::core
+{
+
+struct EpiRow
+{
+    std::string variant;              ///< e.g. "stx (NF)"
+    workloads::OperandPattern pattern;
+    double epiPj = 0.0;
+    double errPj = 0.0; ///< propagated monitor-sample standard deviation
+};
+
+class EpiExperiment
+{
+  public:
+    explicit EpiExperiment(sim::SystemOptions base_options = {},
+                           std::uint32_t samples = 128);
+
+    /** Measure one variant at one operand pattern. */
+    EpiRow measure(const workloads::EpiVariant &variant,
+                   workloads::OperandPattern pattern);
+
+    /** The full Fig. 11 sweep (all variants, three patterns where
+     *  operands apply). */
+    std::vector<EpiRow> runAll();
+
+    /** Idle power used in the EPI equation (measured once). */
+    double idlePowerW();
+
+  private:
+    double measureInstPowerW(const workloads::EpiVariant &variant,
+                             workloads::OperandPattern pattern,
+                             double *stddev_w);
+
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+    double idleW_ = -1.0;
+    double idleErrW_ = 0.0;
+    double nopEpiPj_ = -1.0;
+};
+
+struct MemoryEnergyRow
+{
+    workloads::MemoryScenario scenario;
+    std::uint32_t latency = 0;
+    double energyNj = 0.0;
+    double errNj = 0.0;
+};
+
+class MemoryEnergyExperiment
+{
+  public:
+    explicit MemoryEnergyExperiment(sim::SystemOptions base_options = {},
+                                    std::uint32_t samples = 128);
+
+    /** Measure one Table VII scenario. */
+    MemoryEnergyRow measure(workloads::MemoryScenario scenario);
+
+    /** All five scenarios in table order. */
+    std::vector<MemoryEnergyRow> runAll();
+
+  private:
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+};
+
+} // namespace piton::core
+
+#endif // PITON_CORE_EPI_EXPERIMENT_HH

@@ -1,0 +1,28 @@
+#include "core/equations.hh"
+
+#include "common/logging.hh"
+
+namespace piton::core
+{
+
+double
+epiJoules(double p_inst_w, double p_idle_w, double freq_hz,
+          std::uint32_t latency, std::uint32_t cores)
+{
+    piton_assert(freq_hz > 0.0 && cores > 0 && latency > 0,
+                 "bad EPI arguments");
+    return (p_inst_w - p_idle_w) / static_cast<double>(cores) / freq_hz
+           * static_cast<double>(latency);
+}
+
+double
+epfJoules(double p_hop_w, double p_base_w, double freq_hz,
+          std::uint32_t pattern_cycles, std::uint32_t pattern_flits)
+{
+    piton_assert(freq_hz > 0.0 && pattern_flits > 0, "bad EPF arguments");
+    return (p_hop_w - p_base_w) / freq_hz
+           * static_cast<double>(pattern_cycles)
+           / static_cast<double>(pattern_flits);
+}
+
+} // namespace piton::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's measurement equations (Sections IV-E and IV-G).
+ *
+ * Energy per instruction, measured by running an instruction loop on
+ * `cores` cores and subtracting idle power:
+ *
+ *     EPI = (1/cores) * (Pinst - Pidle) / f * L
+ *
+ * Energy per flit, derived from the chip-bridge-limited NoC traffic
+ * pattern of 7 valid flits every 47 cycles:
+ *
+ *     EPF = (cycles/flits) * (Phop - Pbase) / f
+ */
+
+#ifndef PITON_CORE_EQUATIONS_HH
+#define PITON_CORE_EQUATIONS_HH
+
+#include <cstdint>
+
+namespace piton::core
+{
+
+/** The NoC injection duty pattern (verified through simulation). */
+constexpr std::uint32_t kNocPatternCycles = 47;
+constexpr std::uint32_t kNocPatternFlits = 7;
+
+/**
+ * Energy per instruction in joules.
+ * @param p_inst_w measured steady-state power while running the test
+ * @param p_idle_w measured idle power
+ * @param freq_hz  core clock frequency
+ * @param latency  instruction latency in cycles (Table VI)
+ * @param cores    number of cores running the test (25 in the paper)
+ */
+double epiJoules(double p_inst_w, double p_idle_w, double freq_hz,
+                 std::uint32_t latency, std::uint32_t cores = 25);
+
+/**
+ * Energy per flit in joules.
+ * @param p_hop_w  measured power while injecting to an N-hop target
+ * @param p_base_w measured power while injecting to tile 0 (0 hops)
+ */
+double epfJoules(double p_hop_w, double p_base_w, double freq_hz,
+                 std::uint32_t pattern_cycles = kNocPatternCycles,
+                 std::uint32_t pattern_flits = kNocPatternFlits);
+
+} // namespace piton::core
+
+#endif // PITON_CORE_EQUATIONS_HH

@@ -1,0 +1,141 @@
+#include "core/noc_experiment.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/equations.hh"
+
+namespace piton::core
+{
+
+const char *
+switchPatternName(SwitchPattern p)
+{
+    switch (p) {
+      case SwitchPattern::NSW: return "NSW";
+      case SwitchPattern::HSW: return "HSW";
+      case SwitchPattern::FSW: return "FSW";
+      case SwitchPattern::FSWA: return "FSWA";
+      default:
+        piton_panic("bad SwitchPattern");
+    }
+}
+
+std::pair<RegVal, RegVal>
+switchPatternFlits(SwitchPattern p)
+{
+    switch (p) {
+      case SwitchPattern::NSW:
+        return {0x0ULL, 0x0ULL};
+      case SwitchPattern::HSW:
+        return {0x3333333333333333ULL, 0x0ULL};
+      case SwitchPattern::FSW:
+        return {~RegVal{0}, 0x0ULL};
+      case SwitchPattern::FSWA:
+        return {0xAAAAAAAAAAAAAAAAULL, 0x5555555555555555ULL};
+      default:
+        piton_panic("bad SwitchPattern");
+    }
+}
+
+TileId
+hopTargetTile(std::uint32_t hops)
+{
+    piton_assert(hops <= 8, "hop count %u exceeds the 5x5 mesh max", hops);
+    // 0..4 hops straight east along the top row; 5..8 hops continue
+    // down the east column (tile 9 = 5 hops, the paper's example).
+    if (hops <= 4)
+        return hops;
+    return 4 + (hops - 4) * 5;
+}
+
+NocEnergyExperiment::NocEnergyExperiment(sim::SystemOptions base_options,
+                                         std::uint32_t samples)
+    : opts_(base_options), samples_(samples)
+{
+}
+
+double
+NocEnergyExperiment::injectionPowerW(SwitchPattern pattern, TileId dst,
+                                     double *stddev_w)
+{
+    sim::System sys(opts_);
+    const auto [flit_a, flit_b] = switchPatternFlits(pattern);
+    const Cycle window = sys.options().cyclesPerSample;
+    const std::uint64_t packets_per_window = window / kNocPatternCycles;
+
+    auto inject_window = [&] {
+        for (std::uint64_t i = 0; i < packets_per_window; ++i) {
+            // Header + 6 payload flits alternating between the two
+            // pattern values flit by flit.
+            std::vector<RegVal> payload(6);
+            for (std::size_t k = 0; k < payload.size(); ++k)
+                payload[k] = (k % 2 == 0) ? flit_a : flit_b;
+            sys.pitonChip().memSystem().injectPacket(dst, payload);
+        }
+        return sys.windowTruePowers(window);
+    };
+
+    // Warm up (prime the link state), then measure through the board.
+    for (int i = 0; i < 8; ++i)
+        inject_window();
+    sys.thermalModel().setState(sys.thermalModel().steadyState(
+        sys.idlePowerW()));
+
+    const auto m = board::collectMeasurement(
+        sys.testBoard(), samples_, [&] { return inject_window(); });
+    if (stddev_w)
+        *stddev_w = m.onChipStddevW();
+    return m.onChipMeanW();
+}
+
+EpfRow
+NocEnergyExperiment::measure(SwitchPattern pattern, std::uint32_t hops)
+{
+    double sigma_base = 0.0, sigma_hop = 0.0;
+    const double p_base =
+        injectionPowerW(pattern, hopTargetTile(0), &sigma_base);
+    const double p_hop =
+        injectionPowerW(pattern, hopTargetTile(hops), &sigma_hop);
+    const double f = mhzToHz(opts_.coreClockMhz);
+
+    EpfRow row;
+    row.pattern = pattern;
+    row.hops = hops;
+    row.epfPj = jToPj(epfJoules(p_hop, p_base, f));
+    row.errPj = jToPj(std::sqrt(sigma_base * sigma_base
+                                + sigma_hop * sigma_hop)
+                      / f * kNocPatternCycles / kNocPatternFlits);
+    return row;
+}
+
+std::vector<EpfRow>
+NocEnergyExperiment::runAll()
+{
+    std::vector<EpfRow> rows;
+    for (const auto p : {SwitchPattern::NSW, SwitchPattern::HSW,
+                         SwitchPattern::FSW, SwitchPattern::FSWA})
+        for (std::uint32_t h = 0; h <= 8; ++h)
+            rows.push_back(measure(p, h));
+    return rows;
+}
+
+std::vector<EpfTrend>
+NocEnergyExperiment::trends(const std::vector<EpfRow> &rows)
+{
+    std::vector<EpfTrend> out;
+    for (const auto p : {SwitchPattern::NSW, SwitchPattern::HSW,
+                         SwitchPattern::FSW, SwitchPattern::FSWA}) {
+        LinearFit fit;
+        for (const auto &r : rows)
+            if (r.pattern == p)
+                fit.add(r.hops, r.epfPj);
+        if (fit.count() < 2)
+            continue;
+        const LineFit line = fit.fit();
+        out.push_back(EpfTrend{p, line.slope, line.intercept, line.r2});
+    }
+    return out;
+}
+
+} // namespace piton::core

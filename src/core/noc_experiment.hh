@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The NoC energy study (Section IV-G, Fig. 12).
+ *
+ * The chipset logic is modified to continually send dummy invalidation
+ * packets (a routing header plus 6 payload flits) into Piton, destined
+ * for tiles at increasing hop counts from the chip bridge entry at
+ * tile 0.  The chip-bridge/NoC bandwidth mismatch yields 7 valid flits
+ * every 47 cycles; EPF follows from the equation in core/equations.hh.
+ * Four payload switching patterns quantify the link-activity
+ * dependence: NSW (all zeros), HSW (0x3333.. alternating with zeros),
+ * FSW (all ones alternating with zeros), and FSWA (0xAAAA..
+ * alternating with 0x5555..).
+ */
+
+#ifndef PITON_CORE_NOC_EXPERIMENT_HH
+#define PITON_CORE_NOC_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/system.hh"
+
+namespace piton::core
+{
+
+enum class SwitchPattern
+{
+    NSW,  ///< no switching: all payload bits zero
+    HSW,  ///< half switching: 0x3333... alternating with zeros
+    FSW,  ///< full switching: all ones alternating with zeros
+    FSWA, ///< full switching alternate: 0xAAAA... vs 0x5555...
+};
+
+const char *switchPatternName(SwitchPattern p);
+
+/** The two payload flit values a pattern alternates between. */
+std::pair<RegVal, RegVal> switchPatternFlits(SwitchPattern p);
+
+/** Destination tile for an N-hop injection from tile 0 (N in 0..8):
+ *  tiles 0,1,2,3,4,9,14,19,24 — the paper's examples extended along
+ *  the east edge and down the last column. */
+TileId hopTargetTile(std::uint32_t hops);
+
+struct EpfRow
+{
+    SwitchPattern pattern;
+    std::uint32_t hops = 0;
+    double epfPj = 0.0;
+    double errPj = 0.0;
+};
+
+struct EpfTrend
+{
+    SwitchPattern pattern;
+    double pjPerHop = 0.0;
+    double interceptPj = 0.0;
+    double r2 = 0.0;
+};
+
+class NocEnergyExperiment
+{
+  public:
+    explicit NocEnergyExperiment(sim::SystemOptions base_options = {},
+                                 std::uint32_t samples = 128);
+
+    /** EPF for one pattern at one hop count. */
+    EpfRow measure(SwitchPattern pattern, std::uint32_t hops);
+
+    /** The full Fig. 12 sweep: four patterns, 0..8 hops. */
+    std::vector<EpfRow> runAll();
+
+    /** Least-squares pJ/hop trendlines over a row set. */
+    static std::vector<EpfTrend> trends(const std::vector<EpfRow> &rows);
+
+  private:
+    /** Average injection power for a destination/pattern. */
+    double injectionPowerW(SwitchPattern pattern, TileId dst,
+                           double *stddev_w);
+
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+};
+
+} // namespace piton::core
+
+#endif // PITON_CORE_NOC_EXPERIMENT_HH

@@ -1,0 +1,95 @@
+#include "core/power_cap.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace piton::core
+{
+
+PowerCapExperiment::PowerCapExperiment(sim::SystemOptions opts,
+                                       std::uint32_t samples)
+    : opts_(opts), samples_(samples)
+{
+    opts_.chipId = 3; // consistent with the microbenchmark studies
+}
+
+double
+PowerCapExperiment::hpPowerW(std::uint32_t cores)
+{
+    piton_assert(cores <= 25, "core count out of range");
+    const auto it = powerCache_.find(cores);
+    if (it != powerCache_.end())
+        return it->second;
+
+    sim::System sys(opts_);
+    double p = 0.0;
+    if (cores == 0) {
+        p = sys.idlePowerW();
+    } else {
+        const auto programs = workloads::loadMicrobench(
+            sys, workloads::Microbench::HP, cores, 2, /*iterations=*/0);
+        p = sys.measure(samples_).onChipMeanW();
+    }
+    powerCache_.emplace(cores, p);
+    return p;
+}
+
+StaticCapResult
+PowerCapExperiment::maxCoresUnderCap(double cap_w)
+{
+    StaticCapResult res;
+    res.capW = cap_w;
+    for (std::uint32_t c = 0; c <= 25; ++c) {
+        const double p = hpPowerW(c);
+        if (p <= cap_w) {
+            res.maxCores = c;
+            res.powerAtMaxW = p;
+        } else {
+            break;
+        }
+    }
+    res.headroomW = cap_w - res.powerAtMaxW;
+    return res;
+}
+
+GovernorTrace
+PowerCapExperiment::reactiveGovernor(double cap_w, double interval_s,
+                                     double duration_s)
+{
+    GovernorTrace trace;
+    trace.capW = cap_w;
+    Rng noise(0xCA9);
+
+    std::uint32_t cores = 25; // full demand at t = 0
+    double above_time = 0.0;
+    for (double t = 0.0; t < duration_s; t += interval_s) {
+        // "Measure" the chip: steady-state power for the current
+        // configuration plus monitor-grade noise.
+        const double measured =
+            hpPowerW(cores) + noise.gaussian(0.0, 0.002);
+
+        GovernorPoint pt;
+        pt.timeS = t;
+        pt.activeCores = cores;
+        pt.measuredPowerW = measured;
+        trace.points.push_back(pt);
+
+        if (measured > cap_w)
+            above_time += interval_s;
+
+        // Control law (no oracle — what a real governor can do):
+        // throttle when over the cap; release a core only when at
+        // least a core's worth of measured headroom exists.
+        constexpr double kPerCoreHeadroomW = 0.095;
+        if (measured > cap_w && cores > 0) {
+            --cores;
+        } else if (cores < 25 && measured < cap_w - kPerCoreHeadroomW) {
+            ++cores;
+        }
+    }
+    trace.violationFraction = above_time / duration_s;
+    trace.settledCores = cores;
+    return trace;
+}
+
+} // namespace piton::core

@@ -1,0 +1,176 @@
+#include "core/power_model_fit.hh"
+
+#include "common/linalg.hh"
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "workloads/epi_tests.hh"
+
+namespace piton::core
+{
+
+namespace
+{
+
+constexpr std::size_t kClasses =
+    static_cast<std::size_t>(isa::InstClass::NumClasses);
+
+} // namespace
+
+double
+FittedPowerModel::predictW(const std::vector<double> &class_rates) const
+{
+    piton_assert(class_rates.size() == classEpiPj.size(),
+                 "rate vector size mismatch");
+    double p = idleW;
+    for (std::size_t i = 0; i < class_rates.size(); ++i)
+        p += class_rates[i] * pjToJ(classEpiPj[i]);
+    return p;
+}
+
+PowerModelFit::PowerModelFit(sim::SystemOptions opts,
+                             std::uint32_t samples)
+    : opts_(opts), samples_(samples)
+{
+}
+
+double
+PowerModelFit::idlePowerW()
+{
+    if (idleW_ < 0.0) {
+        sim::System sys(opts_);
+        idleW_ = sys.measure(samples_).onChipMeanW();
+    }
+    return idleW_;
+}
+
+PowerObservation
+PowerModelFit::observe(const std::string &name,
+                       const isa::Program &program)
+{
+    return observe(name, std::vector<isa::Program>(1, program),
+                   workloads::OperandPattern::Random);
+}
+
+PowerObservation
+PowerModelFit::observe(const std::string &name,
+                       const std::vector<isa::Program> &programs,
+                       workloads::OperandPattern pattern)
+{
+    piton_assert(programs.size() == 1 || programs.size() == 25,
+                 "need 1 shared or 25 per-tile programs");
+    sim::System sys(opts_);
+    for (TileId t = 0; t < 25; ++t) {
+        workloads::initEpiMemory(sys.pitonChip().memory(), pattern, t);
+        sys.loadProgram(t, 0,
+                        &programs[programs.size() == 1 ? 0 : t]);
+    }
+
+    const Cycle start = sys.pitonChip().now();
+    const auto counts_before = sys.pitonChip().classCounts();
+    const auto m = sys.measure(samples_);
+    const auto counts_after = sys.pitonChip().classCounts();
+    const Cycle elapsed = sys.pitonChip().now() - start;
+    const double seconds =
+        static_cast<double>(elapsed) / sys.coreClockHz();
+
+    PowerObservation obs;
+    obs.name = name;
+    obs.measuredPowerW = m.onChipMeanW();
+    obs.classRates.resize(kClasses);
+    for (std::size_t i = 0; i < kClasses; ++i)
+        obs.classRates[i] =
+            static_cast<double>(counts_after[i] - counts_before[i])
+            / seconds;
+    return obs;
+}
+
+FittedPowerModel
+PowerModelFit::fit(const std::vector<PowerObservation> &train)
+{
+    FittedPowerModel model;
+    model.idleW = idlePowerW();
+    model.classEpiPj.assign(kClasses, 0.0);
+
+    // Select the classes actually exercised by the training set.
+    std::vector<std::size_t> active;
+    for (std::size_t c = 0; c < kClasses; ++c) {
+        for (const auto &obs : train) {
+            if (obs.classRates[c] > 1e3) {
+                active.push_back(c);
+                break;
+            }
+        }
+    }
+    if (active.empty() || train.size() < active.size())
+        return model;
+
+    // Least squares on (P_measured - P_idle) = sum c_k rate_k.
+    std::vector<double> a(train.size() * active.size());
+    std::vector<double> b(train.size());
+    for (std::size_t r = 0; r < train.size(); ++r) {
+        for (std::size_t k = 0; k < active.size(); ++k)
+            a[r * active.size() + k] = train[r].classRates[active[k]];
+        b[r] = train[r].measuredPowerW - model.idleW;
+    }
+    const std::vector<double> coeffs =
+        leastSquares(a, train.size(), active.size(), b);
+    if (coeffs.empty())
+        return model;
+
+    for (std::size_t k = 0; k < active.size(); ++k)
+        model.classEpiPj[active[k]] = jToPj(coeffs[k]);
+    model.valid = true;
+    return model;
+}
+
+std::vector<PowerObservation>
+PowerModelFit::standardTrainingSet()
+{
+    // Single-class loops (the EPI tests) at the three operand
+    // patterns, plus short mixed loops to decorrelate branch rates.
+    std::vector<PowerObservation> out;
+    std::vector<isa::Program> programs;
+    const char *variants[] = {"nop",   "add",   "mulx",  "sdivx",
+                              "faddd", "fmuld", "fdivd", "fadds",
+                              "fmuls", "fdivs", "ldx",   "stx (NF)"};
+    for (const char *label : variants) {
+        const auto &v = workloads::epiVariant(label);
+        for (const auto pattern :
+             {workloads::OperandPattern::Minimum,
+              workloads::OperandPattern::Maximum}) {
+            std::vector<isa::Program> per_tile;
+            per_tile.reserve(25);
+            for (TileId t = 0; t < 25; ++t)
+                per_tile.push_back(
+                    workloads::makeEpiProgram(v, pattern, t));
+            out.push_back(observe(
+                std::string(label) + "/"
+                    + workloads::operandPatternName(pattern),
+                per_tile, pattern));
+        }
+    }
+    // Mixed loops: vary the branch/ALU ratio.
+    out.push_back(observe("mix-branchy", isa::assemble(R"(
+        set 0, %r1
+    loop:
+        add %r1, 1, %r1
+        cmp %r1, 0
+        bne loop
+        halt
+    )")));
+    out.push_back(observe("mix-straight", isa::assemble(R"(
+        set 0, %r1
+    loop:
+        add %r1, 1, %r1
+        xor %r1, %r2, %r3
+        and %r3, %r1, %r4
+        or  %r4, %r2, %r5
+        xor %r5, %r1, %r6
+        add %r6, %r2, %r7
+        xor %r7, %r1, %r8
+        ba loop
+    )")));
+    return out;
+}
+
+} // namespace piton::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Power-model fitting: the paper's primary open-data use case —
+ * "enabling researchers to build new power models ... and derive power
+ * models" — implemented as a library workflow:
+ *
+ *   1. run a set of training workloads through the measurement
+ *      pipeline, recording (per-class instruction rates, measured
+ *      power) pairs;
+ *   2. fit a linear event model  P = P_idle + sum_k c_k * rate_k  by
+ *      least squares (an EPI-table model in the style the paper's data
+ *      release supports);
+ *   3. validate by predicting the power of unseen workloads.
+ *
+ * The fitted coefficients are *recovered from measurements*, closing
+ * the loop: the characterization is rich enough to rebuild the energy
+ * table that generated it.
+ */
+
+#ifndef PITON_CORE_POWER_MODEL_FIT_HH
+#define PITON_CORE_POWER_MODEL_FIT_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/system.hh"
+#include "workloads/epi_tests.hh"
+
+namespace piton::core
+{
+
+/** One training/validation observation. */
+struct PowerObservation
+{
+    std::string name;
+    /** Per-class retired instructions per second (chip-wide). */
+    std::vector<double> classRates;
+    double measuredPowerW = 0.0;
+};
+
+/** A fitted linear event model. */
+struct FittedPowerModel
+{
+    double idleW = 0.0;
+    /** pJ per instruction of each isa::InstClass (fitted). */
+    std::vector<double> classEpiPj;
+    bool valid = false;
+
+    /** Predict power (W) from per-class rates (insts/second). */
+    double predictW(const std::vector<double> &class_rates) const;
+};
+
+class PowerModelFit
+{
+  public:
+    explicit PowerModelFit(sim::SystemOptions opts = {},
+                           std::uint32_t samples = 32);
+
+    /**
+     * Measure one workload: load `program` on all 25 cores (thread 0),
+     * measure steady-state power, and record per-class rates.
+     */
+    PowerObservation observe(const std::string &name,
+                             const isa::Program &program);
+
+    /** As above with one program per tile (used by the EPI-style
+     *  training workloads so tiles touch disjoint data). */
+    PowerObservation observe(const std::string &name,
+                             const std::vector<isa::Program> &programs,
+                             workloads::OperandPattern pattern);
+
+    /** Fit the model over a set of observations (classes with zero
+     *  rate everywhere are pinned to zero). */
+    FittedPowerModel fit(const std::vector<PowerObservation> &train);
+
+    /**
+     * The standard training set: single-class instruction loops over
+     * the Fig. 11 variants' classes, at mixed operand patterns.
+     */
+    std::vector<PowerObservation> standardTrainingSet();
+
+    double idlePowerW();
+
+  private:
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+    double idleW_ = -1.0;
+};
+
+} // namespace piton::core
+
+#endif // PITON_CORE_POWER_MODEL_FIT_HH

@@ -1,0 +1,138 @@
+#include "core/scaling_experiments.hh"
+
+#include "common/logging.hh"
+
+namespace piton::core
+{
+
+PowerScalingExperiment::PowerScalingExperiment(
+    sim::SystemOptions base_options, std::uint32_t samples)
+    : opts_(base_options), samples_(samples)
+{
+    opts_.chipId = 3; // the microbenchmark studies use Chip #3
+    // Hist streams a 64 KB array through the cache hierarchy; the
+    // steady state (everything L2-resident) needs a longer warm-up
+    // than the default.
+    opts_.warmupCycles = std::max<Cycle>(opts_.warmupCycles, 600'000);
+}
+
+PowerScalingPoint
+PowerScalingExperiment::measure(workloads::Microbench bench,
+                                std::uint32_t threads_per_core,
+                                std::uint32_t cores) const
+{
+    sim::System sys(opts_);
+    const auto programs = workloads::loadMicrobench(
+        sys, bench, cores, threads_per_core, /*iterations=*/0,
+        kHistElements);
+    const auto m = sys.measure(samples_);
+
+    PowerScalingPoint p;
+    p.bench = bench;
+    p.threadsPerCore = threads_per_core;
+    p.cores = cores;
+    p.fullChipPowerW = m.onChipMeanW();
+    p.errW = m.onChipStddevW();
+    return p;
+}
+
+std::vector<PowerScalingPoint>
+PowerScalingExperiment::runAll(
+    const std::vector<std::uint32_t> &core_grid) const
+{
+    std::vector<PowerScalingPoint> out;
+    for (const auto bench :
+         {workloads::Microbench::Int, workloads::Microbench::HP,
+          workloads::Microbench::Hist})
+        for (const std::uint32_t tpc : {1u, 2u})
+            for (const std::uint32_t c : core_grid)
+                out.push_back(measure(bench, tpc, c));
+    return out;
+}
+
+std::vector<PowerScalingTrend>
+PowerScalingExperiment::trends(const std::vector<PowerScalingPoint> &points)
+{
+    std::vector<PowerScalingTrend> out;
+    for (const auto bench :
+         {workloads::Microbench::Int, workloads::Microbench::HP,
+          workloads::Microbench::Hist}) {
+        for (const std::uint32_t tpc : {1u, 2u}) {
+            LinearFit fit;
+            for (const auto &p : points)
+                if (p.bench == bench && p.threadsPerCore == tpc)
+                    fit.add(p.cores, p.fullChipPowerW);
+            if (fit.count() < 2)
+                continue;
+            const LineFit line = fit.fit();
+            out.push_back(PowerScalingTrend{bench, tpc,
+                                            wToMw(line.slope),
+                                            line.intercept, line.r2});
+        }
+    }
+    return out;
+}
+
+MtVsMcExperiment::MtVsMcExperiment(sim::SystemOptions base_options,
+                                   std::uint64_t iterations,
+                                   std::uint64_t hist_elements,
+                                   std::uint64_t hist_outer_iters)
+    : opts_(base_options), iterations_(iterations),
+      histElements_(hist_elements), histOuterIters_(hist_outer_iters)
+{
+    opts_.chipId = 3;
+}
+
+MtMcPoint
+MtVsMcExperiment::measure(workloads::Microbench bench,
+                          std::uint32_t threads_per_core,
+                          std::uint32_t threads) const
+{
+    piton_assert(threads % threads_per_core == 0,
+                 "thread count %u not divisible by %u threads/core",
+                 threads, threads_per_core);
+    const std::uint32_t cores = threads / threads_per_core;
+    piton_assert(cores >= 1 && cores <= 25, "core count out of range");
+
+    sim::System sys(opts_);
+    const double idle_full_w = sys.idlePowerW();
+
+    const std::uint64_t iters =
+        bench == workloads::Microbench::Hist ? histOuterIters_
+                                             : iterations_;
+    const auto programs = workloads::loadMicrobench(
+        sys, bench, cores, threads_per_core, iters, histElements_);
+    const sim::CompletionResult r =
+        sys.runToCompletion(4'000'000'000ULL);
+    piton_assert(r.completed, "microbenchmark did not complete");
+
+    MtMcPoint p;
+    p.bench = bench;
+    p.threadsPerCore = threads_per_core;
+    p.threads = threads;
+    p.executionSeconds = r.seconds;
+    // Fig. 14's decomposition: "active" is the measured power above the
+    // full-chip idle floor; the idle share charged to the configuration
+    // is full-chip idle scaled by the number of active cores.
+    const double total_w = r.onChipEnergyJ / r.seconds;
+    p.activePowerW = total_w - idle_full_w;
+    p.activeCoresIdleW = idle_full_w / 25.0 * cores;
+    p.activeEnergyJ = p.activePowerW * r.seconds;
+    p.activeCoresIdleEnergyJ = p.activeCoresIdleW * r.seconds;
+    return p;
+}
+
+std::vector<MtMcPoint>
+MtVsMcExperiment::runAll() const
+{
+    std::vector<MtMcPoint> out;
+    for (const auto bench :
+         {workloads::Microbench::Int, workloads::Microbench::HP,
+          workloads::Microbench::Hist})
+        for (const std::uint32_t tpc : {1u, 2u})
+            for (std::uint32_t threads = 2; threads <= 24; threads += 2)
+                out.push_back(measure(bench, tpc, threads));
+    return out;
+}
+
+} // namespace piton::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Microbenchmark studies (Section IV-H): power scaling with core count
+ * (Fig. 13) and multithreading versus multicore power/energy (Fig. 14).
+ * Both run on Chip #3, as in the paper.
+ */
+
+#ifndef PITON_CORE_SCALING_EXPERIMENTS_HH
+#define PITON_CORE_SCALING_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/system.hh"
+#include "workloads/microbenchmarks.hh"
+
+namespace piton::core
+{
+
+struct PowerScalingPoint
+{
+    workloads::Microbench bench;
+    std::uint32_t threadsPerCore = 1;
+    std::uint32_t cores = 1;
+    double fullChipPowerW = 0.0;
+    double errW = 0.0;
+};
+
+struct PowerScalingTrend
+{
+    workloads::Microbench bench;
+    std::uint32_t threadsPerCore = 1;
+    double mwPerCore = 0.0;
+    double interceptW = 0.0;
+    double r2 = 0.0;
+};
+
+/** Fig. 13: full-chip power vs active core count, 1 and 2 T/C. */
+class PowerScalingExperiment
+{
+  public:
+    explicit PowerScalingExperiment(sim::SystemOptions base_options = {},
+                                    std::uint32_t samples = 128);
+
+    PowerScalingPoint measure(workloads::Microbench bench,
+                              std::uint32_t threads_per_core,
+                              std::uint32_t cores) const;
+
+    /** Sweep cores over `core_grid` for all three benchmarks and both
+     *  T/C configurations. */
+    std::vector<PowerScalingPoint>
+    runAll(const std::vector<std::uint32_t> &core_grid) const;
+
+    static std::vector<PowerScalingTrend>
+    trends(const std::vector<PowerScalingPoint> &points);
+
+    /** Hist input size (total work held constant): 128 KB of elements,
+     *  sized so the merge-lock contention overtakes the per-thread
+     *  compute just beyond ~34 threads — reproducing the 2 T/C power
+     *  drop past 17 cores (Section IV-H1). */
+    static constexpr std::uint64_t kHistElements = 16384;
+
+  private:
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+};
+
+struct MtMcPoint
+{
+    workloads::Microbench bench;
+    std::uint32_t threadsPerCore = 1; ///< 1 = multicore, 2 = multithreading
+    std::uint32_t threads = 2;        ///< total thread count
+    double activePowerW = 0.0;        ///< above the full-chip idle floor
+    double activeCoresIdleW = 0.0;    ///< idle share of the active cores
+    double activeEnergyJ = 0.0;
+    double activeCoresIdleEnergyJ = 0.0;
+    double executionSeconds = 0.0;
+
+    double totalPowerW() const { return activePowerW + activeCoresIdleW; }
+    double totalEnergyJ() const
+    {
+        return activeEnergyJ + activeCoresIdleEnergyJ;
+    }
+};
+
+/** Fig. 14: equal thread counts as 1 T/C (multicore) vs 2 T/C
+ *  (multithreading); fixed iteration counts for execution time. */
+class MtVsMcExperiment
+{
+  public:
+    explicit MtVsMcExperiment(sim::SystemOptions base_options = {},
+                              std::uint64_t iterations = 30000,
+                              std::uint64_t hist_elements = 4096,
+                              std::uint64_t hist_outer_iters = 4);
+
+    MtMcPoint measure(workloads::Microbench bench,
+                      std::uint32_t threads_per_core,
+                      std::uint32_t threads) const;
+
+    /** Thread counts 2..24 step 2, all three benchmarks, both
+     *  configurations. */
+    std::vector<MtMcPoint> runAll() const;
+
+  private:
+    sim::SystemOptions opts_;
+    std::uint64_t iterations_;
+    std::uint64_t histElements_;
+    std::uint64_t histOuterIters_;
+};
+
+} // namespace piton::core
+
+#endif // PITON_CORE_SCALING_EXPERIMENTS_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Thermal analysis experiments (Section IV-J).
+ *
+ * Both run with the heat sink removed, at reduced operating conditions
+ * (100.01 MHz, VDD 0.9 V, VCS 0.95 V) on a fourth chip, with the FLIR
+ * camera replaced by the package node of the RC thermal model:
+ *
+ *  - Fig. 17: chip power as a function of package temperature for
+ *    0..50 active threads of HP, sweeping temperature by tilting the
+ *    fan (exponential power/temperature relationship from leakage);
+ *  - Fig. 18: the two-phase test application under synchronized vs
+ *    interleaved scheduling — power/temperature time series and the
+ *    hysteresis loop, with interleaved averaging cooler.
+ */
+
+#ifndef PITON_CORE_THERMAL_EXPERIMENTS_HH
+#define PITON_CORE_THERMAL_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "sim/system.hh"
+#include "workloads/microbenchmarks.hh"
+
+namespace piton::core
+{
+
+/** Operating conditions of the thermal study. */
+sim::SystemOptions thermalStudyOptions();
+
+struct ThermalPoint
+{
+    std::uint32_t activeThreads = 0;
+    double fanEffectiveness = 1.0;
+    double packageTempC = 0.0;
+    double powerW = 0.0;
+};
+
+class ThermalSweepExperiment
+{
+  public:
+    explicit ThermalSweepExperiment(
+        sim::SystemOptions opts = thermalStudyOptions(),
+        std::uint32_t samples = 32);
+
+    /** Dynamic (temperature-independent) chip power with `threads`
+     *  active threads of the HP workload. */
+    double dynamicPowerW(std::uint32_t threads) const;
+
+    /** Sweep fan effectiveness for one thread count. */
+    std::vector<ThermalPoint> sweep(std::uint32_t threads,
+                                    std::uint32_t fan_steps = 12) const;
+
+    /** The full Fig. 17 family: threads 0,10,20,30,40,50. */
+    std::vector<ThermalPoint> runAll() const;
+
+  private:
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+};
+
+enum class Schedule
+{
+    Synchronized, ///< all 50 threads change phase together
+    Interleaved,  ///< 26 threads in one phase, 24 in the other
+};
+
+const char *scheduleName(Schedule s);
+
+struct SchedulePoint
+{
+    double timeS = 0.0;
+    double powerW = 0.0;        ///< with monitor noise
+    double packageTempC = 0.0;
+};
+
+struct ScheduleResult
+{
+    Schedule schedule;
+    std::vector<SchedulePoint> trace;
+    double avgPowerW = 0.0;
+    double avgPackageTempC = 0.0;
+    double tempSwingC = 0.0; ///< max - min package temperature
+};
+
+class SchedulingExperiment
+{
+  public:
+    explicit SchedulingExperiment(
+        sim::SystemOptions opts = thermalStudyOptions(),
+        std::uint32_t samples = 32);
+
+    /** Phase powers measured from the two-phase application. */
+    double computePhasePowerW() const;
+    double idlePhasePowerW() const;
+
+    ScheduleResult run(Schedule schedule, double phase_seconds = 10.0,
+                       double duration_seconds = 400.0,
+                       double step_seconds = 0.5) const;
+
+  private:
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+};
+
+} // namespace piton::core
+
+#endif // PITON_CORE_THERMAL_EXPERIMENTS_HH

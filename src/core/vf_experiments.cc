@@ -1,0 +1,120 @@
+#include "core/vf_experiments.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace piton::core
+{
+
+VfScalingExperiment::VfScalingExperiment(power::VfParams vf,
+                                         power::EnergyParams energy,
+                                         thermal::ThermalParams thermal)
+    : vf_(vf), energy_(energy), thermal_(thermal)
+{
+}
+
+std::vector<double>
+VfScalingExperiment::voltageGrid()
+{
+    std::vector<double> grid;
+    for (double v = 0.80; v <= 1.2001; v += 0.05)
+        grid.push_back(v);
+    return grid;
+}
+
+VfPoint
+VfScalingExperiment::measure(int chip_id, double vdd_v) const
+{
+    const chip::FmaxSolver solver(power::VfModel(vf_),
+                                  power::EnergyModel(energy_), thermal_);
+    const chip::FmaxResult r =
+        solver.solve(chip::makeChip(chip_id), vdd_v, vdd_v + 0.05);
+    VfPoint p;
+    p.chipId = chip_id;
+    p.vddV = vdd_v;
+    p.fmaxMhz = r.fmaxMhz;
+    p.nextStepMhz = r.nextStepMhz;
+    p.thermallyLimited = r.thermallyLimited;
+    p.dieTempC = r.dieTempC;
+    return p;
+}
+
+std::vector<VfPoint>
+VfScalingExperiment::runAll(const std::vector<int> &chip_ids) const
+{
+    std::vector<VfPoint> out;
+    for (const int id : chip_ids)
+        for (const double v : voltageGrid())
+            out.push_back(measure(id, v));
+    return out;
+}
+
+StaticIdleExperiment::StaticIdleExperiment(sim::SystemOptions base_options,
+                                           std::uint32_t samples)
+    : opts_(base_options), samples_(samples)
+{
+}
+
+StaticIdleRow
+StaticIdleExperiment::measure(double vdd_v) const
+{
+    // Frequency: the minimum of the three chips' maximum frequencies
+    // at this voltage (Section IV-D).
+    const VfScalingExperiment vf(power::VfParams{}, opts_.energyParams,
+                                 opts_.thermalParams);
+    double fmin = 1e12;
+    for (const int id : {1, 2, 3})
+        fmin = std::min(fmin, vf.measure(id, vdd_v).fmaxMhz);
+
+    StaticIdleRow row;
+    row.vddV = vdd_v;
+    row.freqMhz = fmin;
+
+    for (const int id : {1, 2, 3}) {
+        sim::SystemOptions o = opts_;
+        o.chipId = id;
+        o.vddV = vdd_v;
+        o.vcsV = vdd_v + 0.05;
+        o.coreClockMhz = fmin;
+        sim::System sys(o);
+
+        const auto s = sys.measureStatic(samples_);
+        const auto i = sys.measure(samples_);
+        row.coreStaticW += s.vddW.mean() / 3.0;
+        row.sramStaticW += s.vcsW.mean() / 3.0;
+        row.coreDynamicW += (i.vddW.mean() - s.vddW.mean()) / 3.0;
+        row.sramDynamicW += (i.vcsW.mean() - s.vcsW.mean()) / 3.0;
+    }
+    return row;
+}
+
+std::vector<StaticIdleRow>
+StaticIdleExperiment::runAll() const
+{
+    std::vector<StaticIdleRow> out;
+    for (const double v : VfScalingExperiment::voltageGrid())
+        out.push_back(measure(v));
+    return out;
+}
+
+DefaultPowerResult
+measureDefaultPower(int chip_id, std::uint32_t samples)
+{
+    sim::SystemOptions o;
+    o.chipId = chip_id;
+    sim::System sys(o);
+    const auto s = sys.measureStatic(samples);
+    // A fresh system for the idle measurement (clean thermal state).
+    sim::System sys2(o);
+    const auto i = sys2.measure(samples);
+
+    DefaultPowerResult r;
+    r.staticMw = wToMw(s.onChipMeanW());
+    r.staticErrMw = wToMw(s.onChipStddevW());
+    r.idleMw = wToMw(i.onChipMeanW());
+    r.idleErrMw = wToMw(i.onChipStddevW());
+    return r;
+}
+
+} // namespace piton::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Voltage/frequency-scaling experiments: Fig. 9 (maximum Linux-boot
+ * frequency vs VDD for three chips), Fig. 10 (static and idle power
+ * split by supply across voltage/frequency pairs), and Table V
+ * (default static/idle power of Chip #2).
+ */
+
+#ifndef PITON_CORE_VF_EXPERIMENTS_HH
+#define PITON_CORE_VF_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "chip/fmax_solver.hh"
+#include "sim/system.hh"
+
+namespace piton::core
+{
+
+struct VfPoint
+{
+    int chipId = 0;
+    double vddV = 0.0;
+    double fmaxMhz = 0.0;
+    double nextStepMhz = 0.0; ///< quantization error bar
+    bool thermallyLimited = false;
+    double dieTempC = 0.0;
+};
+
+/** Fig. 9: VDD 0.8..1.2 V in 50 mV steps, VCS = VDD + 0.05 V. */
+class VfScalingExperiment
+{
+  public:
+    explicit VfScalingExperiment(
+        power::VfParams vf = {},
+        power::EnergyParams energy = power::defaultEnergyParams(),
+        thermal::ThermalParams thermal = {});
+
+    VfPoint measure(int chip_id, double vdd_v) const;
+    std::vector<VfPoint> runAll(
+        const std::vector<int> &chip_ids = {1, 2, 3}) const;
+
+    /** The voltage grid of Fig. 9/10. */
+    static std::vector<double> voltageGrid();
+
+  private:
+    power::VfParams vf_;
+    power::EnergyParams energy_;
+    thermal::ThermalParams thermal_;
+};
+
+struct StaticIdleRow
+{
+    double vddV = 0.0;
+    double freqMhz = 0.0; ///< min of the three chips' fmax at this VDD
+    // Three-chip averages, split by supply (the Fig. 10 stack).
+    double coreStaticW = 0.0;  ///< VDD static
+    double sramStaticW = 0.0;  ///< VCS static
+    double coreDynamicW = 0.0; ///< VDD idle dynamic (clock tree)
+    double sramDynamicW = 0.0; ///< VCS idle dynamic
+    double totalIdleW() const
+    {
+        return coreStaticW + sramStaticW + coreDynamicW + sramDynamicW;
+    }
+};
+
+/** Fig. 10: static + idle power vs (V, f) pairs, three-chip average. */
+class StaticIdleExperiment
+{
+  public:
+    explicit StaticIdleExperiment(sim::SystemOptions base_options = {},
+                                  std::uint32_t samples = 128);
+
+    StaticIdleRow measure(double vdd_v) const;
+    std::vector<StaticIdleRow> runAll() const;
+
+  private:
+    sim::SystemOptions opts_;
+    std::uint32_t samples_;
+};
+
+/** Table V: default static and idle power of one chip. */
+struct DefaultPowerResult
+{
+    double staticMw = 0.0;
+    double staticErrMw = 0.0;
+    double idleMw = 0.0;
+    double idleErrMw = 0.0;
+};
+
+DefaultPowerResult measureDefaultPower(int chip_id = 2,
+                                       std::uint32_t samples = 128);
+
+} // namespace piton::core
+
+#endif // PITON_CORE_VF_EXPERIMENTS_HH

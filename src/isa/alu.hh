@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Functional semantics of the non-memory instructions.
+ *
+ * Kept separate from the timing core so that (a) tests can validate
+ * semantics in isolation and (b) the power model can be fed the exact
+ * source operand values, which the paper shows have a first-order effect
+ * on EPI (Fig. 11's min/random/max operand series).
+ */
+
+#ifndef PITON_ISA_ALU_HH
+#define PITON_ISA_ALU_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace piton::isa
+{
+
+/** Integer condition codes (the subset branches consume). */
+struct CondCodes
+{
+    bool zero = false;
+    bool negative = false;
+};
+
+/** Outcome of executing a non-memory, non-branch instruction. */
+struct AluResult
+{
+    RegVal value = 0;     ///< result to write to rd (if writesRd)
+    bool writesRd = false;
+    bool setsCc = false;
+    CondCodes cc;
+};
+
+/**
+ * Evaluate an ALU/FP/pseudo instruction.
+ *
+ * @param inst  The instruction (must not be a memory or branch op).
+ * @param rs1   First source operand value (integer or FP bit pattern).
+ * @param rs2   Second source operand value or sign-extended immediate.
+ * @param hwid  Global hardware thread id (for Rdhwid).
+ */
+AluResult evalAlu(const Instruction &inst, RegVal rs1, RegVal rs2,
+                  RegVal hwid = 0);
+
+/** Whether a branch opcode is taken under the given condition codes. */
+bool branchTaken(Opcode op, CondCodes cc);
+
+} // namespace piton::isa
+
+#endif // PITON_ISA_ALU_HH

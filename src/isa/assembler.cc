@@ -1,0 +1,317 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace piton::isa
+{
+
+namespace
+{
+
+struct Token
+{
+    std::string text;
+};
+
+/** Split a statement into comma-separated operand tokens. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int bracket_depth = 0;
+    for (char ch : s) {
+        if (ch == '[')
+            ++bracket_depth;
+        if (ch == ']')
+            --bracket_depth;
+        if (ch == ',' && bracket_depth == 0) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    for (auto &t : out) {
+        while (!t.empty() && std::isspace(static_cast<unsigned char>(t.front())))
+            t.erase(t.begin());
+        while (!t.empty() && std::isspace(static_cast<unsigned char>(t.back())))
+            t.pop_back();
+    }
+    return out;
+}
+
+struct OperandParser
+{
+    int line;
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        throw AsmError(line, msg);
+    }
+
+    bool
+    isIntReg(const std::string &t) const
+    {
+        return t.size() >= 2 && t[0] == '%'
+               && (t[1] == 'r' || t[1] == 'g');
+    }
+
+    bool
+    isFpReg(const std::string &t) const
+    {
+        return t.size() >= 2 && t[0] == '%' && t[1] == 'f';
+    }
+
+    int
+    reg(const std::string &t) const
+    {
+        if (!isIntReg(t) && !isFpReg(t))
+            err("expected register, got '" + t + "'");
+        char *end = nullptr;
+        const long v = std::strtol(t.c_str() + 2, &end, 10);
+        if (end == t.c_str() + 2 || *end != '\0' || v < 0
+            || v >= static_cast<long>(kNumIntRegs)) {
+            err("bad register '" + t + "'");
+        }
+        return static_cast<int>(v);
+    }
+
+    std::int64_t
+    imm(const std::string &t) const
+    {
+        char *end = nullptr;
+        errno = 0;
+        // strtoull handles the full 64-bit unsigned range (e.g.
+        // 0xAAAA... patterns) and negative decimals via wraparound.
+        const bool negative = !t.empty() && t[0] == '-';
+        std::int64_t v;
+        if (negative) {
+            v = std::strtoll(t.c_str(), &end, 0);
+        } else {
+            v = static_cast<std::int64_t>(std::strtoull(t.c_str(), &end, 0));
+        }
+        if (end == t.c_str() || *end != '\0')
+            err("bad immediate '" + t + "'");
+        return v;
+    }
+
+    /** Parse "[%rN]" or "[%rN + disp]" or "[%rN - disp]". */
+    std::pair<int, std::int64_t>
+    memOperand(const std::string &t) const
+    {
+        if (t.size() < 2 || t.front() != '[' || t.back() != ']')
+            err("expected memory operand [..], got '" + t + "'");
+        std::string inner = t.substr(1, t.size() - 2);
+        // Find +/- separating base and displacement (skip leading sign).
+        std::size_t pos = std::string::npos;
+        for (std::size_t i = 1; i < inner.size(); ++i) {
+            if (inner[i] == '+' || inner[i] == '-') {
+                pos = i;
+                break;
+            }
+        }
+        std::string base = inner;
+        std::int64_t disp = 0;
+        if (pos != std::string::npos) {
+            base = inner.substr(0, pos);
+            const bool negative = inner[pos] == '-';
+            std::string dstr = inner.substr(pos + 1);
+            while (!dstr.empty()
+                   && std::isspace(static_cast<unsigned char>(dstr.front())))
+                dstr.erase(dstr.begin());
+            disp = imm(dstr);
+            if (negative)
+                disp = -disp;
+        }
+        while (!base.empty()
+               && std::isspace(static_cast<unsigned char>(base.back())))
+            base.pop_back();
+        return {reg(base), disp};
+    }
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source, Addr base)
+{
+    ProgramBuilder b(base);
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    // Track labels here so undefined/duplicate labels surface as
+    // AsmError with a line number (ProgramBuilder treats them as
+    // programmatic misuse and terminates).
+    std::unordered_map<std::string, int> defined;   // name -> line
+    std::unordered_map<std::string, int> referenced; // name -> first line
+    while (std::getline(in, raw)) {
+        ++line_no;
+        // Strip comments.
+        for (const char c : {'!', '#', ';'}) {
+            const auto pos = raw.find(c);
+            if (pos != std::string::npos)
+                raw.erase(pos);
+        }
+        // Trim.
+        std::string s = raw;
+        while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+            s.erase(s.begin());
+        while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+            s.pop_back();
+        if (s.empty())
+            continue;
+
+        // Label?
+        if (s.back() == ':') {
+            std::string name = s.substr(0, s.size() - 1);
+            if (name.empty())
+                throw AsmError(line_no, "empty label");
+            if (defined.count(name))
+                throw AsmError(line_no, "duplicate label '" + name + "'");
+            defined.emplace(name, line_no);
+            b.label(name);
+            continue;
+        }
+
+        // Mnemonic and operand string.
+        std::size_t sp = s.find_first_of(" \t");
+        std::string mn = (sp == std::string::npos) ? s : s.substr(0, sp);
+        std::string rest = (sp == std::string::npos) ? "" : s.substr(sp + 1);
+        for (auto &ch : mn)
+            ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        auto ops = splitOperands(rest);
+        OperandParser p{line_no};
+
+        auto expect = [&](std::size_t n) {
+            if (ops.size() != n) {
+                throw AsmError(line_no, mn + " expects "
+                                            + std::to_string(n)
+                                            + " operands, got "
+                                            + std::to_string(ops.size()));
+            }
+        };
+
+        auto alu3 = [&](auto regForm, auto immForm) {
+            expect(3);
+            if (p.isIntReg(ops[1])) {
+                (b.*regForm)(p.reg(ops[2]), p.reg(ops[0]), p.reg(ops[1]));
+            } else {
+                (b.*immForm)(p.reg(ops[2]), p.reg(ops[0]), p.imm(ops[1]));
+            }
+        };
+
+        auto fp3 = [&](auto form) {
+            expect(3);
+            (b.*form)(p.reg(ops[2]), p.reg(ops[0]), p.reg(ops[1]));
+        };
+
+        if (mn == "nop") {
+            expect(0);
+            b.nop();
+        } else if (mn == "halt") {
+            expect(0);
+            b.halt();
+        } else if (mn == "add") {
+            alu3(static_cast<ProgramBuilder &(ProgramBuilder::*)(int, int, int)>(
+                     &ProgramBuilder::add),
+                 &ProgramBuilder::addi);
+        } else if (mn == "sub") {
+            alu3(&ProgramBuilder::sub, &ProgramBuilder::subi);
+        } else if (mn == "and") {
+            alu3(&ProgramBuilder::andr, &ProgramBuilder::andi);
+        } else if (mn == "sll" || mn == "srl") {
+            expect(3);
+            if (p.isIntReg(ops[1]))
+                throw AsmError(line_no,
+                               mn + " supports immediate shift amounts only");
+            if (mn == "sll")
+                b.slli(p.reg(ops[2]), p.reg(ops[0]), p.imm(ops[1]));
+            else
+                b.srli(p.reg(ops[2]), p.reg(ops[0]), p.imm(ops[1]));
+        } else if (mn == "or") {
+            expect(3);
+            b.orr(p.reg(ops[2]), p.reg(ops[0]), p.reg(ops[1]));
+        } else if (mn == "xor") {
+            expect(3);
+            b.xorr(p.reg(ops[2]), p.reg(ops[0]), p.reg(ops[1]));
+        } else if (mn == "mulx") {
+            expect(3);
+            b.mulx(p.reg(ops[2]), p.reg(ops[0]), p.reg(ops[1]));
+        } else if (mn == "sdivx") {
+            expect(3);
+            b.sdivx(p.reg(ops[2]), p.reg(ops[0]), p.reg(ops[1]));
+        } else if (mn == "faddd") {
+            fp3(&ProgramBuilder::faddd);
+        } else if (mn == "fmuld") {
+            fp3(&ProgramBuilder::fmuld);
+        } else if (mn == "fdivd") {
+            fp3(&ProgramBuilder::fdivd);
+        } else if (mn == "fadds") {
+            fp3(&ProgramBuilder::fadds);
+        } else if (mn == "fmuls") {
+            fp3(&ProgramBuilder::fmuls);
+        } else if (mn == "fdivs") {
+            fp3(&ProgramBuilder::fdivs);
+        } else if (mn == "ldx") {
+            expect(2);
+            auto [breg, disp] = p.memOperand(ops[0]);
+            b.ldx(p.reg(ops[1]), breg, disp);
+        } else if (mn == "stx") {
+            expect(2);
+            auto [breg, disp] = p.memOperand(ops[1]);
+            b.stx(p.reg(ops[0]), breg, disp);
+        } else if (mn == "casx") {
+            expect(3);
+            auto [breg, disp] = p.memOperand(ops[0]);
+            if (disp != 0)
+                throw AsmError(line_no, "casx does not take a displacement");
+            b.casx(p.reg(ops[2]), breg, p.reg(ops[1]));
+        } else if (mn == "cmp") {
+            expect(2);
+            if (p.isIntReg(ops[1]))
+                b.cmp(p.reg(ops[0]), p.reg(ops[1]));
+            else
+                b.cmpi(p.reg(ops[0]), p.imm(ops[1]));
+        } else if (mn == "beq" || mn == "bne" || mn == "bg" || mn == "bl"
+                   || mn == "ba") {
+            expect(1);
+            referenced.try_emplace(ops[0], line_no);
+            if (mn == "beq")
+                b.beq(ops[0]);
+            else if (mn == "bne")
+                b.bne(ops[0]);
+            else if (mn == "bg")
+                b.bg(ops[0]);
+            else if (mn == "bl")
+                b.bl(ops[0]);
+            else
+                b.ba(ops[0]);
+        } else if (mn == "set") {
+            expect(2);
+            b.set(p.reg(ops[1]), static_cast<std::uint64_t>(p.imm(ops[0])));
+        } else if (mn == "mov") {
+            expect(2);
+            b.mov(p.reg(ops[1]), p.reg(ops[0]));
+        } else if (mn == "rdhwid") {
+            expect(1);
+            b.rdhwid(p.reg(ops[0]));
+        } else {
+            throw AsmError(line_no, "unknown mnemonic '" + mn + "'");
+        }
+    }
+    for (const auto &[name, line] : referenced) {
+        if (!defined.count(name))
+            throw AsmError(line, "undefined label '" + name + "'");
+    }
+    return b.build();
+}
+
+} // namespace piton::isa

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small SPARC-flavoured text assembler.
+ *
+ * The real experimental system loads assembly tests over the serial
+ * port; this assembler is the equivalent entry point for textual test
+ * programs.  Syntax (one instruction per line, '!' '#' or ';' comments):
+ *
+ *   loop:
+ *       set 0xdeadbeef, %r1
+ *       add %r1, %r2, %r3        ! rd is last, SPARC-style
+ *       add %r1, 8, %r3          ! immediate second operand
+ *       ldx [%r1 + 16], %r4
+ *       stx %r4, [%r1 + 24]
+ *       casx [%r1], %r2, %r3
+ *       cmp %r1, %r2
+ *       beq loop
+ *       rdhwid %r5
+ *       halt
+ *
+ * Integer registers are %r0..%r31 (%g0 is an alias for %r0); FP
+ * registers are %f0..%f31.
+ */
+
+#ifndef PITON_ISA_ASSEMBLER_HH
+#define PITON_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace piton::isa
+{
+
+/** Raised on any syntax or semantic error, with a line number. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &what)
+        : std::runtime_error("line " + std::to_string(line) + ": " + what),
+          line_(line)
+    {}
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** Assemble source text into a Program. Throws AsmError on failure. */
+Program assemble(const std::string &source, Addr base = 0x10000);
+
+} // namespace piton::isa
+
+#endif // PITON_ISA_ASSEMBLER_HH

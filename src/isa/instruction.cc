@@ -1,0 +1,168 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace piton::isa
+{
+
+InstClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return InstClass::Nop;
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Cmp:
+      case Opcode::SetImm:
+      case Opcode::Mov:
+      case Opcode::Rdhwid:
+        return InstClass::IntSimple;
+      case Opcode::Mulx:
+        return InstClass::IntMul;
+      case Opcode::Sdivx:
+        return InstClass::IntDiv;
+      case Opcode::Faddd:
+        return InstClass::FpAddD;
+      case Opcode::Fmuld:
+        return InstClass::FpMulD;
+      case Opcode::Fdivd:
+        return InstClass::FpDivD;
+      case Opcode::Fadds:
+        return InstClass::FpAddS;
+      case Opcode::Fmuls:
+        return InstClass::FpMulS;
+      case Opcode::Fdivs:
+        return InstClass::FpDivS;
+      case Opcode::Ldx:
+        return InstClass::Load;
+      case Opcode::Stx:
+        return InstClass::Store;
+      case Opcode::Casx:
+        return InstClass::Atomic;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Bg:
+      case Opcode::Bl:
+      case Opcode::Ba:
+        return InstClass::Branch;
+      case Opcode::Halt:
+        return InstClass::Halt;
+      default:
+        piton_panic("classOf: unknown opcode %d", static_cast<int>(op));
+    }
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Mulx: return "mulx";
+      case Opcode::Sdivx: return "sdivx";
+      case Opcode::Faddd: return "faddd";
+      case Opcode::Fmuld: return "fmuld";
+      case Opcode::Fdivd: return "fdivd";
+      case Opcode::Fadds: return "fadds";
+      case Opcode::Fmuls: return "fmuls";
+      case Opcode::Fdivs: return "fdivs";
+      case Opcode::Ldx: return "ldx";
+      case Opcode::Stx: return "stx";
+      case Opcode::Casx: return "casx";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Bg: return "bg";
+      case Opcode::Bl: return "bl";
+      case Opcode::Ba: return "ba";
+      case Opcode::SetImm: return "set";
+      case Opcode::Mov: return "mov";
+      case Opcode::Rdhwid: return "rdhwid";
+      case Opcode::Halt: return "halt";
+      default:
+        piton_panic("mnemonic: unknown opcode %d", static_cast<int>(op));
+    }
+}
+
+const char *
+className(InstClass c)
+{
+    switch (c) {
+      case InstClass::Nop: return "nop";
+      case InstClass::IntSimple: return "int";
+      case InstClass::IntMul: return "int-mul";
+      case InstClass::IntDiv: return "int-div";
+      case InstClass::FpAddD: return "fp-add-d";
+      case InstClass::FpMulD: return "fp-mul-d";
+      case InstClass::FpDivD: return "fp-div-d";
+      case InstClass::FpAddS: return "fp-add-s";
+      case InstClass::FpMulS: return "fp-mul-s";
+      case InstClass::FpDivS: return "fp-div-s";
+      case InstClass::Load: return "load";
+      case InstClass::Store: return "store";
+      case InstClass::Atomic: return "atomic";
+      case InstClass::Branch: return "branch";
+      case InstClass::Halt: return "halt";
+      default:
+        piton_panic("className: unknown class %d", static_cast<int>(c));
+    }
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Bg:
+      case Opcode::Bl:
+      case Opcode::Ba:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::Ldx || op == Opcode::Stx || op == Opcode::Casx;
+}
+
+std::uint32_t
+LatencyTable::latencyOf(InstClass c) const
+{
+    switch (c) {
+      case InstClass::Nop: return nop;
+      case InstClass::IntSimple: return intSimple;
+      case InstClass::IntMul: return intMul;
+      case InstClass::IntDiv: return intDiv;
+      case InstClass::FpAddD: return fpAddD;
+      case InstClass::FpMulD: return fpMulD;
+      case InstClass::FpDivD: return fpDivD;
+      case InstClass::FpAddS: return fpAddS;
+      case InstClass::FpMulS: return fpMulS;
+      case InstClass::FpDivS: return fpDivS;
+      case InstClass::Load: return loadL1Hit;
+      case InstClass::Store: return store;
+      case InstClass::Atomic: return atomic;
+      case InstClass::Branch: return branch;
+      case InstClass::Halt: return 1;
+      default:
+        piton_panic("latencyOf: unknown class %d", static_cast<int>(c));
+    }
+}
+
+} // namespace piton::isa

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SPARC-V9-flavoured subset instruction set.
+ *
+ * The subset covers exactly what the paper's assembly tests and
+ * microbenchmarks need: the fifteen instruction variants characterized
+ * in Fig. 11 / Table VI, plus the glue (immediates, moves, compare,
+ * unconditional branch, compare-and-swap, hardware-thread-id read, halt)
+ * required to express the Int / HP / Hist microbenchmarks and the
+ * memory-energy pointer loops.
+ */
+
+#ifndef PITON_ISA_INSTRUCTION_HH
+#define PITON_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace piton::isa
+{
+
+/** Number of integer registers (%r0 is hardwired to zero). */
+constexpr std::uint32_t kNumIntRegs = 32;
+/** Number of double-precision FP registers. */
+constexpr std::uint32_t kNumFpRegs = 32;
+
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    // Integer ALU
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+    Sll,   ///< shift left logical
+    Srl,   ///< shift right logical
+    Mulx,
+    Sdivx,
+    // Floating point, double precision
+    Faddd,
+    Fmuld,
+    Fdivd,
+    // Floating point, single precision
+    Fadds,
+    Fmuls,
+    Fdivs,
+    // Memory (64-bit)
+    Ldx,
+    Stx,
+    Casx, ///< compare-and-swap, the synchronisation primitive for locks
+    // Control
+    Cmp,  ///< subtract and set condition codes (subcc into %g0)
+    Beq,
+    Bne,
+    Bg,
+    Bl,
+    Ba,   ///< branch always
+    // Pseudo / housekeeping
+    SetImm, ///< load a 64-bit immediate (sethi+or expansion collapsed)
+    Mov,
+    Rdhwid, ///< read global hardware thread id (tile*threadsPerCore + tid)
+    Halt,   ///< thread finished
+
+    NumOpcodes
+};
+
+/**
+ * Instruction classes used for energy accounting and latency lookup.
+ * These correspond to the x-axis groups of Fig. 11.
+ */
+enum class InstClass : std::uint8_t
+{
+    Nop,
+    IntSimple,  ///< and/or/xor/add/sub/shift/cmp/mov/set/rdhwid
+    IntMul,
+    IntDiv,
+    FpAddD,
+    FpMulD,
+    FpDivD,
+    FpAddS,
+    FpMulS,
+    FpDivS,
+    Load,
+    Store,
+    Atomic,
+    Branch,
+    Halt,
+
+    NumClasses
+};
+
+/** A decoded instruction. Branch targets are instruction indices. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;   ///< destination register
+    std::uint8_t rs1 = 0;  ///< first source register
+    std::uint8_t rs2 = 0;  ///< second source register (if !useImm)
+    bool useImm = false;   ///< rs2 replaced by immediate operand
+    bool fp = false;       ///< register fields index the FP register file
+    std::int64_t imm = 0;  ///< immediate / memory displacement / SetImm value
+    std::uint32_t target = 0; ///< branch target (instruction index)
+};
+
+/** Map an opcode to its energy/latency class. */
+InstClass classOf(Opcode op);
+
+/** Mnemonic for diagnostics and the assembler round trip. */
+const char *mnemonic(Opcode op);
+const char *className(InstClass c);
+
+/** True for beq/bne/bg/bl/ba. */
+bool isBranch(Opcode op);
+/** True for ldx/stx/casx. */
+bool isMemory(Opcode op);
+
+/**
+ * Core-pipeline latency in cycles of each instruction class, per the
+ * paper's Table VI ("Instruction latencies used in EPI calculations").
+ * Load latency is the L1-hit case; Store is the store-buffer-has-space
+ * case; misses add memory-system latency on top.
+ */
+struct LatencyTable
+{
+    std::uint32_t nop = 1;
+    std::uint32_t intSimple = 1;
+    std::uint32_t intMul = 11;
+    std::uint32_t intDiv = 72;
+    std::uint32_t fpAddD = 22;
+    std::uint32_t fpMulD = 25;
+    std::uint32_t fpDivD = 79;
+    std::uint32_t fpAddS = 22;
+    std::uint32_t fpMulS = 25;
+    std::uint32_t fpDivS = 50;
+    std::uint32_t loadL1Hit = 3;
+    std::uint32_t store = 10;
+    std::uint32_t atomic = 10;
+    std::uint32_t branch = 3;
+
+    std::uint32_t latencyOf(InstClass c) const;
+};
+
+} // namespace piton::isa
+
+#endif // PITON_ISA_INSTRUCTION_HH

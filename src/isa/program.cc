@@ -1,0 +1,262 @@
+#include "isa/program.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace piton::isa
+{
+
+namespace
+{
+
+std::uint8_t
+checkReg(int r)
+{
+    piton_assert(r >= 0 && r < static_cast<int>(kNumIntRegs),
+                 "register index %d out of range", r);
+    return static_cast<std::uint8_t>(r);
+}
+
+} // namespace
+
+ProgramBuilder &
+ProgramBuilder::emit(Instruction inst)
+{
+    insts_.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    const auto [it, inserted] =
+        labels_.emplace(name, static_cast<std::uint32_t>(insts_.size()));
+    if (!inserted)
+        piton_fatal("duplicate label '%s'", name.c_str());
+    (void)it;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit(Instruction{});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return emit(i);
+}
+
+#define PITON_ALU3(method, opcode)                                           \
+    ProgramBuilder &ProgramBuilder::method(int rd, int rs1, int rs2)         \
+    {                                                                         \
+        Instruction i;                                                        \
+        i.op = Opcode::opcode;                                                \
+        i.rd = checkReg(rd);                                                  \
+        i.rs1 = checkReg(rs1);                                                \
+        i.rs2 = checkReg(rs2);                                                \
+        return emit(i);                                                       \
+    }
+
+PITON_ALU3(andr, And)
+PITON_ALU3(orr, Or)
+PITON_ALU3(xorr, Xor)
+PITON_ALU3(add, Add)
+PITON_ALU3(sub, Sub)
+PITON_ALU3(mulx, Mulx)
+PITON_ALU3(sdivx, Sdivx)
+#undef PITON_ALU3
+
+#define PITON_ALUI(method, opcode)                                           \
+    ProgramBuilder &ProgramBuilder::method(int rd, int rs1,                   \
+                                           std::int64_t imm)                  \
+    {                                                                         \
+        Instruction i;                                                        \
+        i.op = Opcode::opcode;                                                \
+        i.rd = checkReg(rd);                                                  \
+        i.rs1 = checkReg(rs1);                                                \
+        i.useImm = true;                                                      \
+        i.imm = imm;                                                          \
+        return emit(i);                                                       \
+    }
+
+PITON_ALUI(addi, Add)
+PITON_ALUI(subi, Sub)
+PITON_ALUI(andi, And)
+PITON_ALUI(slli, Sll)
+PITON_ALUI(srli, Srl)
+#undef PITON_ALUI
+
+#define PITON_FP3(method, opcode)                                            \
+    ProgramBuilder &ProgramBuilder::method(int frd, int frs1, int frs2)       \
+    {                                                                         \
+        Instruction i;                                                        \
+        i.op = Opcode::opcode;                                                \
+        i.fp = true;                                                          \
+        i.rd = checkReg(frd);                                                 \
+        i.rs1 = checkReg(frs1);                                               \
+        i.rs2 = checkReg(frs2);                                               \
+        return emit(i);                                                       \
+    }
+
+PITON_FP3(faddd, Faddd)
+PITON_FP3(fmuld, Fmuld)
+PITON_FP3(fdivd, Fdivd)
+PITON_FP3(fadds, Fadds)
+PITON_FP3(fmuls, Fmuls)
+PITON_FP3(fdivs, Fdivs)
+#undef PITON_FP3
+
+ProgramBuilder &
+ProgramBuilder::ldx(int rd, int rs1, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Ldx;
+    i.rd = checkReg(rd);
+    i.rs1 = checkReg(rs1);
+    i.useImm = true;
+    i.imm = disp;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::stx(int rs_data, int rs1_addr, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Stx;
+    i.rd = checkReg(rs_data); // data register travels in rd, SPARC-style
+    i.rs1 = checkReg(rs1_addr);
+    i.useImm = true;
+    i.imm = disp;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::casx(int rd, int rs1, int rs2)
+{
+    Instruction i;
+    i.op = Opcode::Casx;
+    i.rd = checkReg(rd);
+    i.rs1 = checkReg(rs1);
+    i.rs2 = checkReg(rs2);
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::cmp(int rs1, int rs2)
+{
+    Instruction i;
+    i.op = Opcode::Cmp;
+    i.rs1 = checkReg(rs1);
+    i.rs2 = checkReg(rs2);
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::cmpi(int rs1, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::Cmp;
+    i.rs1 = checkReg(rs1);
+    i.useImm = true;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::branch(Opcode op, const std::string &target)
+{
+    Instruction i;
+    i.op = op;
+    fixups_.emplace_back(static_cast<std::uint32_t>(insts_.size()), target);
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::beq(const std::string &t)
+{
+    return branch(Opcode::Beq, t);
+}
+ProgramBuilder &
+ProgramBuilder::bne(const std::string &t)
+{
+    return branch(Opcode::Bne, t);
+}
+ProgramBuilder &
+ProgramBuilder::bg(const std::string &t)
+{
+    return branch(Opcode::Bg, t);
+}
+ProgramBuilder &
+ProgramBuilder::bl(const std::string &t)
+{
+    return branch(Opcode::Bl, t);
+}
+ProgramBuilder &
+ProgramBuilder::ba(const std::string &t)
+{
+    return branch(Opcode::Ba, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::set(int rd, std::uint64_t value)
+{
+    Instruction i;
+    i.op = Opcode::SetImm;
+    i.rd = checkReg(rd);
+    i.useImm = true;
+    i.imm = static_cast<std::int64_t>(value);
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::setfd(int frd, double value)
+{
+    Instruction i;
+    i.op = Opcode::SetImm;
+    i.fp = true;
+    i.rd = checkReg(frd);
+    i.useImm = true;
+    i.imm = static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(value));
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(int rd, int rs)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.rd = checkReg(rd);
+    i.rs1 = checkReg(rs);
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::rdhwid(int rd)
+{
+    Instruction i;
+    i.op = Opcode::Rdhwid;
+    i.rd = checkReg(rd);
+    return emit(i);
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &[index, name] : fixups_) {
+        const auto it = labels_.find(name);
+        if (it == labels_.end())
+            piton_fatal("undefined label '%s'", name.c_str());
+        insts_[index].target = it->second;
+    }
+    fixups_.clear();
+    return Program(insts_, base_);
+}
+
+} // namespace piton::isa

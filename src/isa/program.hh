@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Program container and builder API.
+ *
+ * A Program is a flat vector of decoded instructions with resolved
+ * branch targets, plus a base address used for instruction-cache
+ * modelling.  ProgramBuilder offers the fluent interface the workload
+ * generators use (the paper's "assembly test" generators: unrolled
+ * instruction loops, pointer-chasing loads, store/nop interleavings).
+ */
+
+#ifndef PITON_ISA_PROGRAM_HH
+#define PITON_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace piton::isa
+{
+
+/** Bytes occupied by one instruction in the modelled I-memory. */
+constexpr Addr kInstBytes = 4;
+
+/** An executable program image. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::vector<Instruction> insts, Addr base = 0x10000)
+        : insts_(std::move(insts)), base_(base)
+    {}
+
+    const Instruction &at(std::uint32_t index) const { return insts_[index]; }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(insts_.size());
+    }
+    bool empty() const { return insts_.empty(); }
+
+    /** Base address of instruction 0 (for I-cache modelling). */
+    Addr baseAddr() const { return base_; }
+    /** PC of an instruction index. */
+    Addr pcOf(std::uint32_t index) const { return base_ + index * kInstBytes; }
+
+    /** Code footprint in bytes (drives I-cache fit). */
+    Addr footprintBytes() const { return size() * kInstBytes; }
+
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+  private:
+    std::vector<Instruction> insts_;
+    Addr base_ = 0x10000;
+};
+
+/**
+ * Fluent builder with label-based branch resolution.  Register operands
+ * are plain integer indices; %r0 reads as zero and ignores writes.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(Addr base = 0x10000) : base_(base) {}
+
+    /** Define a label at the current position. */
+    ProgramBuilder &label(const std::string &name);
+
+    ProgramBuilder &nop();
+    ProgramBuilder &halt();
+
+    // Three-register ALU forms: rd = rs1 op rs2.
+    ProgramBuilder &andr(int rd, int rs1, int rs2);
+    ProgramBuilder &orr(int rd, int rs1, int rs2);
+    ProgramBuilder &xorr(int rd, int rs1, int rs2);
+    ProgramBuilder &add(int rd, int rs1, int rs2);
+    ProgramBuilder &sub(int rd, int rs1, int rs2);
+    ProgramBuilder &mulx(int rd, int rs1, int rs2);
+    ProgramBuilder &sdivx(int rd, int rs1, int rs2);
+
+    // Immediate ALU forms: rd = rs1 op imm.
+    ProgramBuilder &addi(int rd, int rs1, std::int64_t imm);
+    ProgramBuilder &subi(int rd, int rs1, std::int64_t imm);
+    ProgramBuilder &andi(int rd, int rs1, std::int64_t imm);
+    ProgramBuilder &slli(int rd, int rs1, std::int64_t imm);
+    ProgramBuilder &srli(int rd, int rs1, std::int64_t imm);
+
+    // Floating point (FP register file indices).
+    ProgramBuilder &faddd(int frd, int frs1, int frs2);
+    ProgramBuilder &fmuld(int frd, int frs1, int frs2);
+    ProgramBuilder &fdivd(int frd, int frs1, int frs2);
+    ProgramBuilder &fadds(int frd, int frs1, int frs2);
+    ProgramBuilder &fmuls(int frd, int frs1, int frs2);
+    ProgramBuilder &fdivs(int frd, int frs1, int frs2);
+
+    // Memory: address is rs1 + displacement.
+    ProgramBuilder &ldx(int rd, int rs1, std::int64_t disp = 0);
+    ProgramBuilder &stx(int rs_data, int rs1_addr, std::int64_t disp = 0);
+    /** casx [rs1], rs2(expected), rd(swap/result). */
+    ProgramBuilder &casx(int rd, int rs1, int rs2);
+
+    // Control.
+    ProgramBuilder &cmp(int rs1, int rs2);
+    ProgramBuilder &cmpi(int rs1, std::int64_t imm);
+    ProgramBuilder &beq(const std::string &target);
+    ProgramBuilder &bne(const std::string &target);
+    ProgramBuilder &bg(const std::string &target);
+    ProgramBuilder &bl(const std::string &target);
+    ProgramBuilder &ba(const std::string &target);
+
+    // Pseudo ops.
+    ProgramBuilder &set(int rd, std::uint64_t value);
+    /** Load an IEEE-754 double bit pattern into an FP register. */
+    ProgramBuilder &setfd(int frd, double value);
+    ProgramBuilder &mov(int rd, int rs);
+    ProgramBuilder &rdhwid(int rd);
+
+    /** Current instruction count (useful when sizing unrolled loops). */
+    std::uint32_t position() const
+    {
+        return static_cast<std::uint32_t>(insts_.size());
+    }
+
+    /** Resolve all labels and produce the program. Throws on undefined
+     *  labels via piton_fatal. */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Instruction inst);
+    ProgramBuilder &branch(Opcode op, const std::string &target);
+
+    Addr base_;
+    std::vector<Instruction> insts_;
+    std::unordered_map<std::string, std::uint32_t> labels_;
+    /** (instruction index, label) pairs awaiting resolution. */
+    std::vector<std::pair<std::uint32_t, std::string>> fixups_;
+};
+
+} // namespace piton::isa
+
+#endif // PITON_ISA_PROGRAM_HH

@@ -1,0 +1,107 @@
+#include "multichip/multichip.hh"
+
+#include "common/logging.hh"
+
+namespace piton::multichip
+{
+
+MultiChipSystem::MultiChipSystem(std::uint32_t sockets, int chip_id,
+                                 std::uint64_t seed)
+{
+    piton_assert(sockets >= 1 && sockets <= 16,
+                 "socket count %u out of range", sockets);
+    config::PitonParams params;
+    for (std::uint32_t s = 0; s < sockets; ++s) {
+        instances_.push_back(chip::makeChip(chip_id, seed + s));
+        chips_.push_back(std::make_unique<arch::PitonChip>(
+            params, instances_.back(), energy_, seed + 77 * s));
+    }
+}
+
+std::uint32_t
+MultiChipSystem::homeSocket(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> 6) % chips_.size());
+}
+
+CrossChipOutcome
+MultiChipSystem::localLoad(std::uint32_t socket, TileId tile, Addr addr,
+                           Cycle now)
+{
+    piton_assert(socket < chips_.size(), "socket out of range");
+    RegVal data;
+    const arch::AccessOutcome out =
+        chips_[socket]->memSystem().load(tile, addr, data, now);
+    CrossChipOutcome res;
+    res.latency = out.latency;
+    res.remoteL2Hit = out.level != arch::HitLevel::OffChip;
+    return res;
+}
+
+CrossChipOutcome
+MultiChipSystem::crossChipLoad(std::uint32_t socket, TileId tile,
+                               Addr addr, Cycle now)
+{
+    piton_assert(socket < chips_.size(), "socket out of range");
+    const std::uint32_t home = homeSocket(addr);
+    if (home == socket)
+        return localLoad(socket, tile, addr, now);
+
+    ++crossings_;
+    arch::PitonChip &local = *chips_[socket];
+    arch::PitonChip &remote = *chips_[home];
+
+    CrossChipOutcome res;
+
+    // 1. Local mesh: requester tile to the chip bridge at tile 0, plus
+    //    the local L1/L1.5/L2 miss detection (the request only leaves
+    //    the socket once the local hierarchy misses).
+    const auto &p = local.params();
+    const std::uint32_t hops_out = config::hopDistance(p, tile, 0);
+    res.latency += 28; // L1 miss + L2 miss detect (Fig. 15 tile stage)
+    res.latency += 2 * hops_out;
+
+    // 2. Outbound crossing: local bridge, link, remote bridge entry.
+    res.latency += fabric_.bridgeCrossing + fabric_.linkTransfer
+                   + fabric_.remoteEntry;
+
+    // 3. Remote socket resolves the line, entering its mesh at the
+    //    chip bridge (tile 0); the access outcome already includes the
+    //    remote mesh round trip to the home slice.
+    RegVal data;
+    const arch::AccessOutcome remote_out =
+        remote.memSystem().load(0, addr, data, now);
+    res.latency += remote_out.latency;
+    res.remoteL2Hit = remote_out.level != arch::HitLevel::OffChip;
+
+    // 4. Return crossing.
+    res.latency += fabric_.bridgeCrossing + fabric_.linkTransfer
+                   + fabric_.remoteEntry;
+
+    // Energy: both sockets' bridges serialize the 3-flit request and
+    // the 3-flit (16 B) response over their VIO pads.
+    const double before_local = local.ledger().total().onChipCoreAndSram();
+    const double before_remote =
+        remote.ledger().total().onChipCoreAndSram();
+    for (int flit = 0; flit < 6; ++flit) {
+        local.ledger().add(power::Category::ChipBridge,
+                           energy_.chipBridgeFlitEnergy());
+        local.ledger().add(power::Category::ChipBridge,
+                           energy_.vioBeatEnergy());
+        local.ledger().add(power::Category::ChipBridge,
+                           energy_.vioBeatEnergy());
+        remote.ledger().add(power::Category::ChipBridge,
+                            energy_.chipBridgeFlitEnergy());
+        remote.ledger().add(power::Category::ChipBridge,
+                            energy_.vioBeatEnergy());
+        remote.ledger().add(power::Category::ChipBridge,
+                            energy_.vioBeatEnergy());
+    }
+    res.energyJ = (local.ledger().total().onChipCoreAndSram()
+                   - before_local)
+                  + (remote.ledger().total().onChipCoreAndSram()
+                     - before_remote);
+    return res;
+}
+
+} // namespace piton::multichip

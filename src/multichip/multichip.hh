@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-socket Piton systems (Section II).
+ *
+ * Piton's three NoCs and its directory-based coherence protocol extend
+ * off-chip: the chip bridge multiplexes the networks over the 32-bit
+ * pin interface so multiple sockets share memory ("enabling multi-
+ * socket Piton systems with support for inter-chip shared memory").
+ * The paper characterizes a single socket; this module extends the
+ * energy/latency models to K-socket systems so the memory-energy
+ * ladder of Table VII gains its natural next rungs: remote-chip L2
+ * hits and shared-DRAM misses.
+ *
+ * Modelling level: each socket is a full cycle-level PitonChip; the
+ * inter-chip fabric is transaction-level (like the Fig. 15 chipset
+ * path), with per-stage latencies normalized to the core clock and
+ * chip-bridge/VIO energy charged on both sockets for every crossing.
+ */
+
+#ifndef PITON_MULTICHIP_MULTICHIP_HH
+#define PITON_MULTICHIP_MULTICHIP_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/piton_chip.hh"
+#include "chip/chip_instance.hh"
+#include "power/energy_model.hh"
+
+namespace piton::multichip
+{
+
+/** Inter-chip fabric latencies (core-clock cycles at 500.05 MHz). */
+struct FabricLatencies
+{
+    /** One direction through a chip bridge + gateway buffering
+     *  (Fig. 15's chip-bridge and gateway stages). */
+    std::uint32_t bridgeCrossing = 44; // 5 + 39
+    /** Inter-socket link transfer (FMC-class connector). */
+    std::uint32_t linkTransfer = 18;
+    /** Entry through the remote socket's bridge demux into its mesh. */
+    std::uint32_t remoteEntry = 11;
+};
+
+struct CrossChipOutcome
+{
+    std::uint32_t latency = 0;   ///< total cycles, requester's view
+    double energyJ = 0.0;        ///< VDD+VCS energy charged (both sockets)
+    bool remoteL2Hit = false;    ///< false = went to shared DRAM
+};
+
+/**
+ * A K-socket Piton system.  Sockets run independent workloads through
+ * their own PitonChip; inter-chip shared-memory traffic uses the
+ * transaction-level fabric.
+ */
+class MultiChipSystem
+{
+  public:
+    /**
+     * @param sockets     number of chips (>= 1)
+     * @param chip_id     calibrated chip instance used for every socket
+     */
+    explicit MultiChipSystem(std::uint32_t sockets, int chip_id = 2,
+                             std::uint64_t seed = 0x50C);
+
+    std::uint32_t socketCount() const
+    {
+        return static_cast<std::uint32_t>(chips_.size());
+    }
+    arch::PitonChip &socket(std::uint32_t s) { return *chips_[s]; }
+
+    /** Home socket of an address (line-interleaved across sockets). */
+    std::uint32_t homeSocket(Addr addr) const;
+
+    /**
+     * A load from `tile` on `socket` to an address homed on another
+     * socket: traverses the local mesh to the chip bridge, crosses the
+     * fabric, resolves at the remote home L2 (hit or shared-DRAM
+     * fill), and returns.  Charges energy on both sockets' ledgers.
+     */
+    CrossChipOutcome crossChipLoad(std::uint32_t socket, TileId tile,
+                                   Addr addr, Cycle now);
+
+    /** Same-socket load passthrough (for symmetric call sites). */
+    CrossChipOutcome localLoad(std::uint32_t socket, TileId tile,
+                               Addr addr, Cycle now);
+
+    const FabricLatencies &fabric() const { return fabric_; }
+
+    /** Total fabric crossings so far (diagnostics). */
+    std::uint64_t fabricCrossings() const { return crossings_; }
+
+  private:
+    power::EnergyModel energy_;
+    FabricLatencies fabric_;
+    std::vector<chip::ChipInstance> instances_;
+    std::vector<std::unique_ptr<arch::PitonChip>> chips_;
+    std::uint64_t crossings_ = 0;
+};
+
+} // namespace piton::multichip
+
+#endif // PITON_MULTICHIP_MULTICHIP_HH

@@ -1,0 +1,64 @@
+#include "perfmodel/machine.hh"
+
+namespace piton::perfmodel
+{
+
+MachineParams
+sunFireT2000()
+{
+    MachineParams m;
+    m.name = "Sun Fire T2000";
+    m.kernelVersion = "4.8";
+    m.memoryDeviceType = "DDR2-533";
+    m.ratedMemoryClockMhz = 266.67;
+    m.actualMemoryClockMhz = 266.67;
+    m.ratedTimingsCycles = "4-4-4";
+    m.ratedTimingsNs = "15-15-15";
+    m.actualTimingsCycles = "4-4-4";
+    m.actualTimingsNs = "15-15-15";
+    m.memoryDataBits = 64; // + 8 bits ECC
+    m.memorySize = "16GB";
+    m.memoryLatencyNs = 108.0;
+    m.persistentStorage = "HDD";
+    m.processor = "UltraSPARC T1";
+    m.processorFreqMhz = 1000.0;
+    m.cores = 8;
+    m.threadsPerCore = 4;
+    m.l2CacheSize = "3MB";
+    m.l2SizeMb = 3.0;
+    m.l2LatencyNsText = "20-24ns";
+    m.l2HitLatencyNs = 22.0;
+    m.cpiBase = 1.25;
+    return m;
+}
+
+MachineParams
+pitonSystem()
+{
+    MachineParams m;
+    m.name = "Piton System";
+    m.kernelVersion = "4.9";
+    m.memoryDeviceType = "DDR3-1866";
+    m.ratedMemoryClockMhz = 933.0;
+    m.actualMemoryClockMhz = 800.0; // Xilinx controller limitation
+    m.ratedTimingsCycles = "13-13-13";
+    m.ratedTimingsNs = "13.91-13.91-13.91";
+    m.actualTimingsCycles = "12-12-12";
+    m.actualTimingsNs = "15-15-15";
+    m.memoryDataBits = 32;
+    m.memorySize = "1GB";
+    m.memoryLatencyNs = 848.0;
+    m.persistentStorage = "SD Card";
+    m.processor = "Piton";
+    m.processorFreqMhz = 500.05;
+    m.cores = 25;
+    m.threadsPerCore = 2;
+    m.l2CacheSize = "1.6MB aggregate";
+    m.l2SizeMb = 1.6;
+    m.l2LatencyNsText = "68-108ns";
+    m.l2HitLatencyNs = 88.0;
+    m.cpiBase = 1.30;
+    return m;
+}
+
+} // namespace piton::perfmodel

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Machine-level parameters for the benchmark study (Table VIII).
+ *
+ * The paper compares the Piton experimental system against a Sun Fire
+ * T2000 server with an UltraSPARC T1 — the same core and L1 caches as
+ * Piton (with four threads per core instead of two) but a completely
+ * different uncore: twice the clock, 3 MB of L2 at 20-24 ns, on-chip
+ * DRAM controllers with a 64-bit DDR2 interface at 108 ns average
+ * access latency, versus Piton's FPGA chipset path at 848 ns over a
+ * 32-bit DDR3 interface.
+ */
+
+#ifndef PITON_PERFMODEL_MACHINE_HH
+#define PITON_PERFMODEL_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace piton::perfmodel
+{
+
+struct MachineParams
+{
+    std::string name;
+    std::string operatingSystem = "Debian Sid Linux";
+    std::string kernelVersion;
+    std::string memoryDeviceType;
+    double ratedMemoryClockMhz;
+    double actualMemoryClockMhz;
+    std::string ratedTimingsCycles;
+    std::string ratedTimingsNs;
+    std::string actualTimingsCycles;
+    std::string actualTimingsNs;
+    std::uint32_t memoryDataBits;
+    std::string memorySize;
+    double memoryLatencyNs; ///< average access latency
+    std::string persistentStorage;
+    std::string processor;
+    double processorFreqMhz;
+    std::uint32_t cores;
+    std::uint32_t threadsPerCore;
+    std::string l2CacheSize;
+    double l2SizeMb;
+    std::string l2LatencyNsText;
+    double l2HitLatencyNs; ///< representative L2 hit latency
+
+    /** Base CPI of the in-order single-issue core on this system. */
+    double cpiBase;
+
+    double freqHz() const { return processorFreqMhz * 1e6; }
+    double memLatencyCycles() const
+    {
+        return memoryLatencyNs * 1e-9 * freqHz();
+    }
+    double l2HitCycles() const
+    {
+        return l2HitLatencyNs * 1e-9 * freqHz();
+    }
+};
+
+/** The Sun Fire T2000 column of Table VIII. */
+MachineParams sunFireT2000();
+
+/** The Piton system column of Table VIII. */
+MachineParams pitonSystem();
+
+} // namespace piton::perfmodel
+
+#endif // PITON_PERFMODEL_MACHINE_HH

@@ -1,0 +1,127 @@
+#include "perfmodel/spec_model.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace piton::perfmodel
+{
+
+SpecModel::SpecModel(MachineParams t1, MachineParams piton,
+                     power::EnergyModel energy, double idle_on_chip_w)
+    : t1_(std::move(t1)), piton_(std::move(piton)),
+      energy_(std::move(energy)), idleOnChipW_(idle_on_chip_w)
+{
+}
+
+double
+SpecModel::cpiOf(const workloads::SpecBenchmark &bench,
+                 const MachineParams &machine, bool is_piton) const
+{
+    const double l2_mpki = is_piton ? bench.l2MpkiPiton : bench.l2MpkiT1;
+    return machine.cpiBase
+           + bench.l1MpkiToL2 * machine.l2HitCycles() / 1000.0
+           + l2_mpki * machine.memLatencyCycles() / 1000.0;
+}
+
+double
+SpecModel::perMissEnergyJ() const
+{
+    // One core stalling ~424 cycles plus the cache/NoC/bridge path.
+    // Unlike the Table VII stress test (25 cores missing in lockstep),
+    // a single application miss does not drag the whole chip into the
+    // excursion regime.
+    const auto &p = energy_.params();
+    const double stall_pj = 424.0 * p.stallCyclePj;
+    const double path_pj = p.l15AccessPj + p.l2AccessPj + p.dirAccessPj
+                           + 12.0 * p.chipBridgeFlitPj + 12000.0;
+    return pjToJ(stall_pj + path_pj);
+}
+
+std::array<double, 3>
+SpecModel::pitonRailPowers(const workloads::SpecBenchmark &bench,
+                           double activity) const
+{
+    const double cpi = cpiOf(bench, piton_, /*is_piton=*/true);
+    const double inst_rate = piton_.freqHz() / cpi * activity;
+
+    // Average EPI of the mix at the profile's operand activity.
+    using C = isa::InstClass;
+    const auto act =
+        static_cast<std::uint32_t>(bench.operandActivity);
+    const double int_frac = 1.0 - bench.loadFrac - bench.storeFrac
+                            - bench.branchFrac;
+    const double epi_j =
+        int_frac
+            * energy_.instructionEnergy(C::IntSimple, act)
+                  .onChipCoreAndSram()
+        + bench.loadFrac
+              * energy_.instructionEnergy(C::Load, act).onChipCoreAndSram()
+        + bench.storeFrac
+              * energy_.instructionEnergy(C::Store, act)
+                    .onChipCoreAndSram()
+        + bench.branchFrac
+              * energy_.instructionEnergy(C::Branch, 0).onChipCoreAndSram();
+
+    const double l1_miss_j =
+        (energy_.l15AccessEnergy() + energy_.l2AccessEnergy())
+            .onChipCoreAndSram();
+
+    const double active_w =
+        inst_rate
+        * (epi_j + bench.l1MpkiToL2 / 1000.0 * l1_miss_j
+           + bench.l2MpkiPiton / 1000.0 * perMissEnergyJ());
+
+    // On-chip split per Fig. 16's rail breakdown: the clock tree and
+    // core leakage dominate VDD; the SRAM arrays sit on VCS.
+    const double vdd_w = idleOnChipW_ * 0.86 + active_w * 0.75;
+    const double vcs_w = idleOnChipW_ * 0.14 + active_w * 0.25;
+
+    // VIO: standing gateway-interface power, per-miss off-chip beats,
+    // and device I/O (SD card / serial / network controllers behind
+    // the 1.8 V rail).  The device term is calibrated so hmmer and
+    // libquantum land in their measured 2.3-2.4 W band while quiet
+    // benchmarks stay near 2.1 W (Table IX / Fig. 16).
+    const double miss_rate = inst_rate * bench.l2MpkiPiton / 1000.0;
+    const double io_excess = bench.ioActivity - 1.0;
+    const double vio_w =
+        energy_.params().vioIdleW
+        + miss_rate * 24.0 * pjToJ(energy_.params().vioBeatPj)
+        + io_excess * io_excess * 0.016;
+
+    return {vdd_w, vcs_w, vio_w};
+}
+
+SpecResult
+SpecModel::evaluate(const workloads::SpecBenchmark &bench) const
+{
+    SpecResult r;
+    r.name = bench.name;
+    r.t1Minutes = bench.t2000Minutes;
+    r.cpiT1 = cpiOf(bench, t1_, /*is_piton=*/false);
+    r.cpiPiton = cpiOf(bench, piton_, /*is_piton=*/true);
+
+    // Instruction count from the measured T2000 time.
+    const double t1_seconds = bench.t2000Minutes * 60.0;
+    const double insts = t1_seconds * t1_.freqHz() / r.cpiT1;
+    r.instCountBillions = insts / 1e9;
+
+    const double piton_seconds = insts * r.cpiPiton / piton_.freqHz();
+    r.pitonMinutes = piton_seconds / 60.0;
+    r.slowdown = piton_seconds / t1_seconds;
+
+    const auto rails = pitonRailPowers(bench);
+    r.pitonAvgPowerW = rails[0] + rails[1] + rails[2];
+    r.pitonEnergyKj = r.pitonAvgPowerW * piton_seconds / 1000.0;
+    return r;
+}
+
+std::vector<SpecResult>
+SpecModel::evaluateAll() const
+{
+    std::vector<SpecResult> out;
+    for (const auto &b : workloads::specint2006Profiles())
+        out.push_back(evaluate(b));
+    return out;
+}
+
+} // namespace piton::perfmodel

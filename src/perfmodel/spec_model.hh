@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytic CPI / power / energy model for the SPECint study (Table IX)
+ * and the gcc-166 power time series (Fig. 16).
+ *
+ * CPI on each machine composes the in-order core's base CPI with the
+ * L2-hit and memory-access stall terms:
+ *
+ *   CPI = cpiBase + MPKI_L1->L2 * L2_hit_cycles / 1000
+ *                 + MPKI_L2     * mem_cycles    / 1000
+ *
+ * Instruction count is derived from the measured T2000 time (the
+ * paper's ground truth); Piton's execution time follows from its CPI
+ * and clock.  Piton's average power composes idle power with the
+ * active-core EPI stream, memory-system event energy, per-miss stall
+ * energy, and VIO activity.
+ */
+
+#ifndef PITON_PERFMODEL_SPEC_MODEL_HH
+#define PITON_PERFMODEL_SPEC_MODEL_HH
+
+#include <vector>
+
+#include "perfmodel/machine.hh"
+#include "power/energy_model.hh"
+#include "workloads/spec_profiles.hh"
+
+namespace piton::perfmodel
+{
+
+struct SpecResult
+{
+    std::string name;
+    double t1Minutes = 0.0;     ///< UltraSPARC T1 execution time
+    double pitonMinutes = 0.0;  ///< modelled Piton execution time
+    double slowdown = 0.0;
+    double pitonAvgPowerW = 0.0; ///< VDD + VCS + VIO
+    double pitonEnergyKj = 0.0;
+    double instCountBillions = 0.0;
+    double cpiT1 = 0.0;
+    double cpiPiton = 0.0;
+};
+
+class SpecModel
+{
+  public:
+    SpecModel(MachineParams t1, MachineParams piton,
+              power::EnergyModel energy, double idle_on_chip_w = 2.0153);
+
+    /** Evaluate one benchmark profile. */
+    SpecResult evaluate(const workloads::SpecBenchmark &bench) const;
+
+    /** Evaluate the full Table IX suite. */
+    std::vector<SpecResult> evaluateAll() const;
+
+    /** CPI of a profile on a machine (exposed for tests). */
+    double cpiOf(const workloads::SpecBenchmark &bench,
+                 const MachineParams &machine, bool is_piton) const;
+
+    /**
+     * Piton rail powers (W) while running a profile at a relative
+     * activity level (1.0 = the benchmark's average; Fig. 16's phase
+     * modulation scales this). Returns {VDD, VCS, VIO}.
+     */
+    std::array<double, 3>
+    pitonRailPowers(const workloads::SpecBenchmark &bench,
+                    double activity = 1.0) const;
+
+  private:
+    MachineParams t1_;
+    MachineParams piton_;
+    power::EnergyModel energy_;
+    double idleOnChipW_;
+
+    /** Stall + path energy of one off-chip miss in an application
+     *  context (J); see EXPERIMENTS.md for why this is far below the
+     *  Table VII stress-test figure. */
+    double perMissEnergyJ() const;
+};
+
+} // namespace piton::perfmodel
+
+#endif // PITON_PERFMODEL_SPEC_MODEL_HH

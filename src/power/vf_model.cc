@@ -1,0 +1,44 @@
+#include "power/vf_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace piton::power
+{
+
+VfModel::VfModel(VfParams params) : params_(params)
+{
+    piton_assert(params_.alpha > 0.0 && params_.kMhz > 0.0
+                     && params_.freqStepMhz > 0.0,
+                 "invalid VfParams");
+}
+
+double
+VfModel::rawFmaxMhz(double vdd_v, double speed_factor) const
+{
+    piton_assert(vdd_v >= params_.minVddV,
+                 "VDD %.3f V below model validity floor", vdd_v);
+    const double overdrive = vdd_v - params_.vtV;
+    if (overdrive <= 0.0)
+        return 0.0;
+    return speed_factor * params_.kMhz * std::pow(overdrive, params_.alpha)
+           / vdd_v;
+}
+
+double
+VfModel::quantizeMhz(double f_mhz) const
+{
+    // The epsilon keeps exact grid points (e.g. the 514.33 MHz anchor)
+    // from flooring to the previous step through rounding error.
+    const double steps = std::floor(f_mhz / params_.freqStepMhz + 1e-6);
+    return steps * params_.freqStepMhz;
+}
+
+double
+VfModel::nextStepMhz(double f_mhz) const
+{
+    return quantizeMhz(f_mhz) + params_.freqStepMhz;
+}
+
+} // namespace piton::power

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Voltage-versus-frequency model (Fig. 9).
+ *
+ * Maximum operating frequency follows the alpha-power-law delay model,
+ * fmax(V) = k * (V - Vt)^alpha / V, calibrated so a nominal chip runs
+ * 514.33 MHz at 1.0 V and 285.74 MHz at 0.8 V (the paper's measured
+ * anchors).  The gateway FPGA drives a discretized PLL reference clock,
+ * so achievable core frequencies sit on a grid; quantize() models that,
+ * and nextStep() gives the paper's error-bar semantics ("the next
+ * discrete frequency step the chip was tested at and failed").
+ */
+
+#ifndef PITON_POWER_VF_MODEL_HH
+#define PITON_POWER_VF_MODEL_HH
+
+namespace piton::power
+{
+
+struct VfParams
+{
+    double alpha = 2.0;       ///< velocity-saturation exponent
+    double vtV = 0.40;        ///< effective threshold voltage
+    double kMhz = 1428.694;   ///< gain, calibrated at the 1.0 V anchor
+    double freqStepMhz = 1.7859; ///< PLL reference quantization grid
+    double minVddV = 0.60;    ///< below this the model is invalid
+};
+
+class VfModel
+{
+  public:
+    explicit VfModel(VfParams params = VfParams{});
+
+    const VfParams &params() const { return params_; }
+
+    /**
+     * Device-limited (non-thermally-limited) maximum frequency in MHz.
+     * @param vdd_v         core supply at the transistor (post IR drop)
+     * @param speed_factor  per-chip process-variation multiplier
+     */
+    double rawFmaxMhz(double vdd_v, double speed_factor = 1.0) const;
+
+    /** Largest achievable grid frequency not exceeding f_mhz. */
+    double quantizeMhz(double f_mhz) const;
+
+    /** The next grid step above f_mhz (the failed test point). */
+    double nextStepMhz(double f_mhz) const;
+
+  private:
+    VfParams params_;
+};
+
+} // namespace piton::power
+
+#endif // PITON_POWER_VF_MODEL_HH

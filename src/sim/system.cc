@@ -1,0 +1,186 @@
+#include "sim/system.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace piton::sim
+{
+
+System::System(SystemOptions opts)
+    : opts_(opts), instance_(chip::makeChip(opts.chipId, opts.seed)),
+      energy_(opts.energyParams), board_(opts.seed ^ 0xB0A2D),
+      thermal_(opts.thermalParams)
+{
+    energy_.setOperatingPoint(opts_.vddV, opts_.vcsV);
+    chip_ = std::make_unique<arch::PitonChip>(opts_.cfg.piton, instance_,
+                                              energy_, opts_.seed);
+    board_.setSupply(power::Rail::Vdd, opts_.vddV);
+    board_.setSupply(power::Rail::Vcs, opts_.vcsV);
+    board_.setSupply(power::Rail::Vio, opts_.vioV);
+    thermal_.reset();
+}
+
+void
+System::loadProgram(TileId tile, ThreadId tid, const isa::Program *p,
+                    const std::vector<std::pair<int, RegVal>> &init)
+{
+    chip_->loadProgram(tile, tid, p, init);
+}
+
+power::RailEnergy
+System::clockTreePowerW() const
+{
+    const power::RailEnergy per_cycle = energy_.idleCycleEnergy();
+    return per_cycle.scaled(static_cast<double>(opts_.cfg.piton.tileCount)
+                            * coreClockHz() * instance_.dynFactor);
+}
+
+double
+System::idlePowerW() const
+{
+    // Fixed point between idle power and die temperature.
+    const double clock_w = clockTreePowerW().onChipCoreAndSram();
+    double temp = thermal_.params().ambientC;
+    double total = clock_w;
+    for (int i = 0; i < 100; ++i) {
+        const double leak =
+            energy_.leakagePowerW(temp, instance_.leakFactor)
+                .onChipCoreAndSram();
+        total = clock_w + leak;
+        const double new_temp = thermal_.steadyState(total).dieC;
+        if (std::abs(new_temp - temp) < 1e-5)
+            break;
+        temp = 0.5 * (temp + new_temp);
+    }
+    return total;
+}
+
+std::array<double, 3>
+System::windowTruePowers(Cycle window_cycles)
+{
+    piton_assert(window_cycles > 0, "empty sample window");
+    chip_->run(window_cycles);
+    const power::RailEnergy now_total = chip_->ledger().total();
+    const power::RailEnergy delta = now_total - prevLedger_;
+    prevLedger_ = now_total;
+
+    const double window_s =
+        static_cast<double>(window_cycles) / coreClockHz();
+    const power::RailEnergy clock_w = clockTreePowerW();
+    const power::RailEnergy leak_w =
+        energy_.leakagePowerW(thermal_.dieTempC(), instance_.leakFactor);
+
+    std::array<double, 3> p{};
+    for (std::size_t r = 0; r < power::kNumRails; ++r) {
+        const auto rail = static_cast<power::Rail>(r);
+        p[r] = delta.get(rail) / window_s + clock_w.get(rail)
+               + leak_w.get(rail);
+    }
+
+    // Advance the thermal network: on-chip power heats the die.
+    thermal_.step(p[0] + p[1], window_s);
+    return p;
+}
+
+board::PowerMeasurement
+System::measure(std::uint32_t samples)
+{
+    // Warm up caches and power, then pin the thermal network at the
+    // equilibrium for the observed steady-state power ("after the
+    // system reaches a steady state", Section III-A).
+    double warm_power = 0.0;
+    const Cycle chunk = opts_.cyclesPerSample;
+    const std::uint32_t warm_windows = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(opts_.warmupCycles / chunk));
+    for (std::uint32_t i = 0; i < warm_windows; ++i) {
+        const auto p = windowTruePowers(chunk);
+        warm_power = p[0] + p[1];
+    }
+    // Pin the thermal state at equilibrium, then re-settle: leakage
+    // depends on temperature, so the power/temperature pair converges
+    // over a few pin iterations.
+    for (int pin = 0; pin < 4; ++pin) {
+        thermal_.setState(thermal_.steadyState(warm_power));
+        const auto p = windowTruePowers(chunk);
+        warm_power = p[0] + p[1];
+    }
+    thermal_.setState(thermal_.steadyState(warm_power));
+
+    return board::collectMeasurement(board_, samples, [this, chunk] {
+        return windowTruePowers(chunk);
+    });
+}
+
+board::PowerMeasurement
+System::measureStatic(std::uint32_t samples)
+{
+    // Clocks grounded: only leakage flows; the die sits barely above
+    // ambient.
+    double temp = thermal_.params().ambientC;
+    double leak = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const power::RailEnergy l =
+            energy_.leakagePowerW(temp, instance_.leakFactor);
+        leak = l.onChipCoreAndSram();
+        const double new_temp = thermal_.steadyState(leak).dieC;
+        if (std::abs(new_temp - temp) < 1e-6)
+            break;
+        temp = 0.5 * (temp + new_temp);
+    }
+    const power::RailEnergy l =
+        energy_.leakagePowerW(temp, instance_.leakFactor);
+    return board::collectMeasurement(
+        board_, samples, [&l] {
+            return std::array<double, 3>{l.get(power::Rail::Vdd),
+                                         l.get(power::Rail::Vcs),
+                                         l.get(power::Rail::Vio)};
+        });
+}
+
+CompletionResult
+System::runToCompletion(Cycle max_cycles)
+{
+    CompletionResult res;
+    const power::RailEnergy start_ledger = chip_->ledger().total();
+    const Cycle start_cycle = chip_->now();
+    const Cycle chunk = opts_.cyclesPerSample;
+
+    double idle_energy_j = 0.0;
+    power::RailEnergy prev_chunk = start_ledger;
+    while (chip_->now() - start_cycle < max_cycles) {
+        const Cycle remaining = max_cycles - (chip_->now() - start_cycle);
+        const Cycle before = chip_->now();
+        const auto r = chip_->run(std::min(chunk, remaining));
+        const Cycle elapsed = chip_->now() - before;
+        const double dt = static_cast<double>(std::max<Cycle>(elapsed, 1))
+                          / coreClockHz();
+        const double clock_w = clockTreePowerW().onChipCoreAndSram();
+        const double leak_w =
+            energy_.leakagePowerW(thermal_.dieTempC(), instance_.leakFactor)
+                .onChipCoreAndSram();
+        idle_energy_j += (clock_w + leak_w) * dt;
+        const power::RailEnergy chunk_delta =
+            chip_->ledger().total() - prev_chunk;
+        prev_chunk = chip_->ledger().total();
+        thermal_.step(clock_w + leak_w
+                          + chunk_delta.onChipCoreAndSram() / dt,
+                      dt);
+        if (r.allHalted) {
+            res.completed = true;
+            break;
+        }
+    }
+
+    res.cycles = chip_->now() - start_cycle;
+    res.seconds = static_cast<double>(res.cycles) / coreClockHz();
+    res.insts = chip_->totalInsts();
+    const power::RailEnergy delta = chip_->ledger().total() - start_ledger;
+    prevLedger_ = chip_->ledger().total();
+    res.activeEnergyJ = delta.onChipCoreAndSram();
+    res.idleEnergyJ = idle_energy_j;
+    res.onChipEnergyJ = res.activeEnergyJ + res.idleEnergyJ;
+    return res;
+}
+
+} // namespace piton::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Assembly-test generators for the EPI study (Section IV-E, Fig. 11).
+ *
+ * Each test is the paper's construction: the target instruction in an
+ * infinite loop unrolled by a factor of 20, verified to fit in the L1
+ * caches, with no extraneous memory activity.  Source operands are
+ * preloaded with minimum (all-zero), random, or maximum (all-one)
+ * values.  The stx variant comes in two flavours: back-to-back stores
+ * that fill the eight-entry store buffer and roll back (stx(F)), and
+ * stores padded with nine nops so the buffer always has space
+ * (stx(NF)).  Branch variants cover a taken beq and a not-taken bne.
+ */
+
+#ifndef PITON_WORKLOADS_EPI_TESTS_HH
+#define PITON_WORKLOADS_EPI_TESTS_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/memory.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace piton::workloads
+{
+
+enum class OperandPattern
+{
+    Minimum, ///< all-zero operands
+    Random,  ///< ~half the bits set
+    Maximum, ///< all-one operands
+};
+
+const char *operandPatternName(OperandPattern p);
+
+/** One x-axis entry of Fig. 11. */
+struct EpiVariant
+{
+    std::string label;       ///< e.g. "stx (NF)", "beq (T)"
+    isa::InstClass cls;
+    std::uint32_t latency;   ///< Table VI latency used in the EPI formula
+    bool hasOperands;        ///< operand patterns apply
+    /** nop correction: nops inserted per target instruction whose
+     *  energy must be subtracted (9 for stx(NF), else 0). */
+    std::uint32_t padNops;
+};
+
+/** All Fig. 11 variants, in the paper's plotting order. */
+const std::vector<EpiVariant> &epiVariants();
+
+/** Look a variant up by label; fatal on unknown labels. */
+const EpiVariant &epiVariant(const std::string &label);
+
+/** Per-tile data region for ldx/stx tests (distinct L2 lines per tile,
+ *  avoiding any cache-coherence interaction). */
+Addr epiDataBase(TileId tile);
+
+/**
+ * Build the unrolled infinite-loop test for one variant.  Memory-
+ * touching variants address the tile's private region.
+ */
+isa::Program makeEpiProgram(const EpiVariant &variant,
+                            OperandPattern pattern, TileId tile);
+
+/** Seed the data region with values matching the operand pattern. */
+void initEpiMemory(arch::MainMemory &memory, OperandPattern pattern,
+                   TileId tile);
+
+/** Operand values for a pattern (second value for two-source ops). */
+RegVal patternValue(OperandPattern p, int which);
+
+} // namespace piton::workloads
+
+#endif // PITON_WORKLOADS_EPI_TESTS_HH

@@ -1,0 +1,131 @@
+#include "workloads/memory_tests.hh"
+
+#include "common/logging.hh"
+
+namespace piton::workloads
+{
+
+namespace
+{
+
+constexpr std::uint32_t kUnroll = 20;
+
+/** Stride aliasing one L1D/L1.5 set while preserving the home tile
+ *  (multiple of lcm(2048, 64*25) = 51200) and spreading L2 sets. */
+constexpr Addr kL1AliasStride = 51200;
+
+/** Stride aliasing one L2 set at the same home (multiple of
+ *  256 sets * 64 B * 25 tiles = 409600). */
+constexpr Addr kL2AliasStride = 409600;
+
+} // namespace
+
+const char *
+memoryScenarioName(MemoryScenario s)
+{
+    switch (s) {
+      case MemoryScenario::L1Hit: return "L1 Hit";
+      case MemoryScenario::LocalL2Hit: return "L1 Miss, Local L2 Hit";
+      case MemoryScenario::RemoteL2Hit4:
+        return "L1 Miss, Remote L2 Hit (4 hops)";
+      case MemoryScenario::RemoteL2Hit8:
+        return "L1 Miss, Remote L2 Hit (8 hops)";
+      case MemoryScenario::L2Miss: return "L1 Miss, Local L2 Miss";
+      default:
+        piton_panic("bad MemoryScenario");
+    }
+}
+
+std::uint32_t
+memoryScenarioLatency(MemoryScenario s)
+{
+    switch (s) {
+      case MemoryScenario::L1Hit: return 3;
+      case MemoryScenario::LocalL2Hit: return 34;
+      case MemoryScenario::RemoteL2Hit4: return 42;
+      case MemoryScenario::RemoteL2Hit8: return 52;
+      case MemoryScenario::L2Miss: return 424;
+      default:
+        piton_panic("bad MemoryScenario");
+    }
+}
+
+MemoryTestPlan
+makeMemoryTestPlan(MemoryScenario scenario, TileId requester)
+{
+    MemoryTestPlan plan;
+    plan.scenario = scenario;
+    plan.requester = requester;
+    plan.home = requester;
+    plan.addresses.reserve(kUnroll);
+
+    switch (scenario) {
+      case MemoryScenario::L1Hit: {
+        const Addr base =
+            0x0200'0000 + static_cast<Addr>(requester) * 0x4000;
+        for (std::uint32_t k = 0; k < kUnroll; ++k)
+            plan.addresses.push_back(base + k * 8);
+        plan.home = static_cast<TileId>((plan.addresses[0] >> 6) % 25);
+        break;
+      }
+      case MemoryScenario::LocalL2Hit: {
+        const Addr base = static_cast<Addr>(requester) * 64;
+        for (std::uint32_t k = 0; k < kUnroll; ++k)
+            plan.addresses.push_back(base + k * kL1AliasStride);
+        break;
+      }
+      case MemoryScenario::RemoteL2Hit4:
+      case MemoryScenario::RemoteL2Hit8: {
+        piton_assert(requester == 0,
+                     "remote scenarios are planned from tile 0");
+        // 4 hops: tile 4 (straight east, no turn).  8 hops: tile 24
+        // (the opposite corner, one turn) — the 5x5 mesh maximum.
+        plan.home = (scenario == MemoryScenario::RemoteL2Hit4) ? 4 : 24;
+        const Addr base = static_cast<Addr>(plan.home) * 64;
+        for (std::uint32_t k = 0; k < kUnroll; ++k)
+            plan.addresses.push_back(base + k * kL1AliasStride);
+        break;
+      }
+      case MemoryScenario::L2Miss: {
+        const Addr base = static_cast<Addr>(requester) * 64;
+        for (std::uint32_t k = 0; k < kUnroll; ++k)
+            plan.addresses.push_back(base + k * kL2AliasStride);
+        break;
+      }
+      default:
+        piton_panic("bad MemoryScenario");
+    }
+    return plan;
+}
+
+isa::Program
+makeMemoryTestProgram(const MemoryTestPlan &plan)
+{
+    isa::ProgramBuilder b;
+    // Preload the 20 target addresses into r8..r27 so the measured
+    // loop contains nothing but the ldx instructions and the loop
+    // branch (matching the paper's "no extraneous activity" check).
+    piton_assert(plan.addresses.size() <= 20, "too many load targets");
+    int reg = 8;
+    for (const Addr a : plan.addresses)
+        b.set(reg++, a);
+    b.label("loop");
+    reg = 8;
+    for (std::size_t i = 0; i < plan.addresses.size(); ++i)
+        b.ldx(2, reg++, 0);
+    b.ba("loop");
+    return b.build();
+}
+
+void
+initMemoryTestData(arch::MainMemory &memory, const MemoryTestPlan &plan,
+                   Rng &rng)
+{
+    for (const Addr a : plan.addresses) {
+        const Addr line = a & ~Addr{63};
+        for (Addr off = 0; off < 64; off += 8)
+            memory.write64(line + off, rng.next());
+    }
+}
+
+} // namespace piton::workloads

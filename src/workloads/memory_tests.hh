@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Assembly-test generators for the memory-system energy study
+ * (Section IV-F, Table VII).
+ *
+ * Each test is an unrolled infinite loop (factor 20) of ldx
+ * instructions whose consecutive addresses alias the same L1 (or L2)
+ * cache set, forcing the desired hit/miss scenario:
+ *
+ *  - L1 hit:          consecutive words, resident after warm-up;
+ *  - local L2 hit:    20 lines aliasing one L1 set, homed locally;
+ *  - remote L2 hit:   same, homed at a tile 4 or 8 hops away (which L2
+ *                     slice is selected by careful address choice given
+ *                     the software-configurable line->slice mapping);
+ *  - L2 miss:         20 lines aliasing one L2 set (4-way) so every
+ *                     access leaves the chip.
+ */
+
+#ifndef PITON_WORKLOADS_MEMORY_TESTS_HH
+#define PITON_WORKLOADS_MEMORY_TESTS_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/memory.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace piton::workloads
+{
+
+enum class MemoryScenario
+{
+    L1Hit,
+    LocalL2Hit,
+    RemoteL2Hit4,
+    RemoteL2Hit8,
+    L2Miss,
+};
+
+const char *memoryScenarioName(MemoryScenario s);
+
+/** Table VII's latency column (verified in simulation / profiled via
+ *  performance counters for the miss case). */
+std::uint32_t memoryScenarioLatency(MemoryScenario s);
+
+struct MemoryTestPlan
+{
+    MemoryScenario scenario;
+    TileId requester;
+    TileId home;                 ///< L2 slice the addresses map to
+    std::vector<Addr> addresses; ///< the 20 load targets
+};
+
+/**
+ * Plan a scenario for a requesting tile.  For the remote scenarios the
+ * requester must be tile 0 (the home is placed 4 hops straight east /
+ * 8 hops diagonally, matching Table VII's hop counts).
+ */
+MemoryTestPlan makeMemoryTestPlan(MemoryScenario scenario,
+                                  TileId requester);
+
+/** The unrolled ldx loop over the plan's addresses. */
+isa::Program makeMemoryTestProgram(const MemoryTestPlan &plan);
+
+/** Fill the target addresses with random data (the paper's memory-
+ *  energy results are based on random data). */
+void initMemoryTestData(arch::MainMemory &memory,
+                        const MemoryTestPlan &plan, Rng &rng);
+
+} // namespace piton::workloads
+
+#endif // PITON_WORKLOADS_MEMORY_TESTS_HH

@@ -1,0 +1,290 @@
+#include "workloads/microbenchmarks.hh"
+
+#include "common/logging.hh"
+
+namespace piton::workloads
+{
+
+namespace
+{
+
+/** Emit the loop-control epilogue: infinite (ba) or counted (bl). */
+void
+emitLoopTail(isa::ProgramBuilder &b, std::uint64_t iterations,
+             int counter_reg)
+{
+    if (iterations == 0) {
+        b.ba("loop");
+    } else {
+        b.addi(counter_reg, counter_reg, 1);
+        b.cmpi(counter_reg, static_cast<std::int64_t>(iterations));
+        b.bl("loop");
+        b.halt();
+    }
+}
+
+} // namespace
+
+const char *
+microbenchName(Microbench m)
+{
+    switch (m) {
+      case Microbench::Int: return "Int";
+      case Microbench::HP: return "HP";
+      case Microbench::Hist: return "Hist";
+      default:
+        piton_panic("bad Microbench");
+    }
+}
+
+isa::Program
+makeIntLoop(std::uint64_t iterations)
+{
+    isa::ProgramBuilder b;
+    // Alternating bit patterns maximize datapath switching.
+    b.set(1, 0xAAAAAAAAAAAAAAAAULL);
+    b.set(2, 0x5555555555555555ULL);
+    b.set(30, 0);
+    b.label("loop");
+    for (int rep = 0; rep < 2; ++rep) {
+        b.xorr(3, 1, 2);
+        b.add(4, 3, 2);
+        b.xorr(5, 4, 1);
+        b.andr(6, 5, 2);
+        b.orr(7, 6, 1);
+        b.xorr(8, 7, 2);
+        b.add(9, 8, 1);
+        b.xorr(10, 9, 2);
+    }
+    emitLoopTail(b, iterations, 30);
+    return b.build();
+}
+
+isa::Program
+makeMixedLoop(std::uint64_t iterations)
+{
+    isa::ProgramBuilder b;
+    // r1 = per-thread private data base (init register).
+    b.set(2, 0xA5A5A5A5A5A5A5A5ULL);
+    b.set(3, 0x3C3C3C3C3C3C3C3CULL);
+    b.set(30, 0);
+    b.label("loop");
+    // Twenty integer instructions ...
+    for (int rep = 0; rep < 2; ++rep) {
+        b.xorr(4, 2, 3);
+        b.add(5, 4, 3);
+        b.xorr(6, 5, 2);
+        b.andr(7, 6, 3);
+        b.orr(8, 7, 2);
+        b.xorr(9, 8, 3);
+        b.add(10, 9, 2);
+        b.xorr(11, 10, 3);
+        b.andr(12, 11, 2);
+        b.xorr(13, 12, 3);
+    }
+    // ... and four memory operations (5:1 compute to memory); all hit
+    // the private L1/L1.5 in steady state.
+    b.ldx(14, 1, 0);
+    b.stx(13, 1, 16);
+    b.ldx(16, 1, 32);
+    b.stx(12, 1, 48);
+    emitLoopTail(b, iterations, 30);
+    return b.build();
+}
+
+isa::Program
+makeHistProgram(std::uint64_t outer_iterations)
+{
+    isa::ProgramBuilder b;
+    // Init registers: r1 = array base, r2 = start idx, r3 = end idx,
+    // r4 = shared bucket base, r5 = lock address, r6 = private bucket
+    // base.  Each thread histograms its portion into its private
+    // buckets (cache-resident), then merges them into the shared
+    // buckets under the lock — so shrinking per-thread portions raise
+    // the contended fraction, as in Section IV-H1.
+    b.set(14, 0);
+    b.set(30, 0);
+    b.label("loop");
+    // Zero the private buckets.
+    b.set(10, 0);
+    b.label("zero");
+    b.slli(11, 10, 3);
+    b.add(11, 11, 6);
+    b.stx(14, 11, 0);
+    b.addi(10, 10, 1);
+    b.cmpi(10, kHistBuckets);
+    b.bl("zero");
+    // ---- compute phase over [start, end) ----
+    b.mov(10, 2);
+    b.label("elem");
+    b.slli(11, 10, 3);
+    b.add(11, 11, 1);
+    b.ldx(12, 11, 0); // value = array[cur]
+    // "compute": mix the value before bucketing
+    b.xorr(20, 12, 2);
+    b.add(21, 20, 12);
+    b.srli(22, 12, 7);
+    b.xorr(21, 21, 22);
+    b.add(23, 21, 20);
+    b.xorr(24, 23, 12);
+    b.srli(25, 23, 3);
+    b.add(24, 24, 25);
+    b.xorr(20, 24, 21);
+    b.add(22, 20, 23);
+    b.andi(13, 12, kHistBuckets - 1);
+    b.slli(13, 13, 3);
+    b.add(13, 13, 6); // &private[bucket]
+    b.ldx(16, 13, 0);
+    b.addi(16, 16, 1);
+    b.stx(16, 13, 0);
+    b.addi(10, 10, 1);
+    b.cmp(10, 3);
+    b.bl("elem");
+    // ---- merge phase under the shared lock ----
+    b.label("acquire");
+    b.set(15, 1);
+    b.casx(15, 5, 14);
+    b.cmpi(15, 0);
+    b.bne("acquire");
+    b.set(10, 0);
+    b.label("merge");
+    b.slli(11, 10, 3);
+    b.add(12, 11, 6);
+    b.ldx(16, 12, 0); // private count
+    b.add(17, 11, 4);
+    b.ldx(18, 17, 0); // shared count
+    b.add(18, 18, 16);
+    b.stx(18, 17, 0);
+    b.addi(10, 10, 1);
+    b.cmpi(10, kHistBuckets);
+    b.bl("merge");
+    b.stx(14, 5, 0); // release
+    emitLoopTail(b, outer_iterations, 30);
+    return b.build();
+}
+
+isa::Program
+makeTwoPhaseProgram(std::uint64_t compute_iters, std::uint64_t idle_iters)
+{
+    isa::ProgramBuilder b;
+    b.set(1, 0xAAAAAAAAAAAAAAAAULL);
+    b.set(2, 0x5555555555555555ULL);
+    // r15 != 0 starts in the idle phase (interleaved scheduling).
+    b.cmpi(15, 0);
+    b.bne("idle_entry");
+    b.label("loop");
+    // --- compute phase ---
+    b.set(20, 0);
+    b.label("compute");
+    b.xorr(3, 1, 2);
+    b.add(4, 3, 2);
+    b.xorr(5, 4, 1);
+    b.addi(20, 20, 1);
+    b.cmpi(20, static_cast<std::int64_t>(compute_iters));
+    b.bl("compute");
+    // --- idle phase ---
+    b.label("idle_entry");
+    b.set(20, 0);
+    b.label("idle");
+    b.nop();
+    b.nop();
+    b.nop();
+    b.addi(20, 20, 1);
+    b.cmpi(20, static_cast<std::int64_t>(idle_iters));
+    b.bl("idle");
+    b.ba("loop");
+    return b.build();
+}
+
+void
+initHistData(arch::MainMemory &memory, std::uint64_t elements, Rng &rng)
+{
+    for (std::uint64_t i = 0; i < elements; ++i)
+        memory.write64(kHistArrayBase + i * 8, rng.next());
+    for (std::uint32_t bkt = 0; bkt < kHistBuckets; ++bkt)
+        memory.write64(kHistBucketsBase + bkt * 8, 0);
+    for (std::uint32_t bkt = 0; bkt < kHistBuckets; ++bkt)
+        memory.write64(kHistLocksBase + bkt * 64, 0);
+}
+
+std::vector<isa::Program>
+loadMicrobench(sim::System &system, Microbench bench, std::uint32_t cores,
+               std::uint32_t threads_per_core, std::uint64_t iterations,
+               std::uint64_t total_elements)
+{
+    piton_assert(cores >= 1 && cores <= 25, "core count %u out of range",
+                 cores);
+    piton_assert(threads_per_core == 1 || threads_per_core == 2,
+                 "threads/core must be 1 or 2");
+    std::vector<isa::Program> programs;
+    // Cores hold raw pointers into this vector: reserve up front so
+    // push_back never reallocates (moving the vector out is safe — the
+    // heap buffer, and thus the element addresses, transfer with it).
+    programs.reserve(2);
+
+    switch (bench) {
+      case Microbench::Int: {
+        programs.push_back(makeIntLoop(iterations));
+        for (std::uint32_t c = 0; c < cores; ++c)
+            for (std::uint32_t t = 0; t < threads_per_core; ++t)
+                system.loadProgram(c, t, &programs[0]);
+        break;
+      }
+      case Microbench::HP: {
+        programs.push_back(makeIntLoop(iterations));
+        programs.push_back(makeMixedLoop(iterations));
+        std::uint32_t hwid = 0;
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            for (std::uint32_t t = 0; t < threads_per_core; ++t, ++hwid) {
+                // 2 T/C: one thread of each type per core.
+                // 1 T/C: the two types alternate across cores.
+                const bool mixed = (threads_per_core == 2) ? (t == 1)
+                                                           : (c % 2 == 1);
+                if (mixed) {
+                    const Addr base = kMixedDataBase
+                                      + static_cast<Addr>(hwid) * 0x1000;
+                    system.pitonChip().memory().write64(base, 0x1234);
+                    system.loadProgram(
+                        c, t, &programs[1],
+                        {{1, static_cast<RegVal>(base)}});
+                } else {
+                    system.loadProgram(c, t, &programs[0]);
+                }
+            }
+        }
+        break;
+      }
+      case Microbench::Hist: {
+        programs.push_back(makeHistProgram(iterations));
+        Rng rng(0x415);
+        initHistData(system.pitonChip().memory(), total_elements, rng);
+        const std::uint32_t threads = cores * threads_per_core;
+        const std::uint64_t per_thread =
+            std::max<std::uint64_t>(1, total_elements / threads);
+        std::uint32_t idx = 0;
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            for (std::uint32_t t = 0; t < threads_per_core; ++t, ++idx) {
+                const std::uint64_t start = idx * per_thread;
+                const std::uint64_t end =
+                    (idx + 1 == threads) ? total_elements
+                                         : start + per_thread;
+                system.loadProgram(
+                    c, t, &programs[0],
+                    {{1, kHistArrayBase},
+                     {2, start},
+                     {3, end},
+                     {4, kHistBucketsBase},
+                     {5, kHistLocksBase},
+                     {6, kHistPrivateBase
+                             + static_cast<Addr>(idx) * 0x1000}});
+            }
+        }
+        break;
+      }
+      default:
+        piton_panic("bad Microbench");
+    }
+    return programs;
+}
+
+} // namespace piton::workloads

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The paper's microbenchmarks (Section IV-H) and thermal test app
+ * (Section IV-J):
+ *
+ *  - Int:  a tight loop of integer instructions maximizing switching
+ *          activity;
+ *  - HP:   two distinct thread types — an integer loop, and a mixed
+ *          loop of loads/stores/integer ops at a 5:1 compute:memory
+ *          ratio; the highest-power application observed on Piton;
+ *  - Hist: a parallel shared-memory histogram: each thread computes a
+ *          histogram over its slice of a shared array and updates the
+ *          shared buckets under a CAS lock (total work constant as
+ *          thread count scales);
+ *  - TwoPhase: alternating compute-heavy and idle (nop) phases for the
+ *          scheduling/thermal study (synchronized vs interleaved).
+ *
+ * Power variants run as infinite loops (steady-state measurement);
+ * energy variants take an iteration count and halt (execution-time +
+ * energy measurement, Fig. 14).
+ */
+
+#ifndef PITON_WORKLOADS_MICROBENCHMARKS_HH
+#define PITON_WORKLOADS_MICROBENCHMARKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/memory.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "sim/system.hh"
+
+namespace piton::workloads
+{
+
+/** Data-region bases (per-thread offsets derived from hwid). */
+constexpr Addr kMixedDataBase = 0x0300'0000;
+constexpr Addr kHistArrayBase = 0x0400'0000;
+constexpr Addr kHistBucketsBase = 0x0500'0000;
+/** The shared merge lock (on its own L2 line). */
+constexpr Addr kHistLocksBase = 0x0500'4000;
+/** Per-thread private histograms (one 4 KB region per hwid). */
+constexpr Addr kHistPrivateBase = 0x0600'0000;
+constexpr std::uint32_t kHistBuckets = 8;
+
+/** Int: tight integer loop; iterations == 0 means infinite. */
+isa::Program makeIntLoop(std::uint64_t iterations);
+
+/**
+ * HP's mixed thread: unrolled integer ops with one load and one store
+ * per ten compute instructions (5:1 compute to memory).  The thread's
+ * private data region is passed in register 1 at load time.
+ */
+isa::Program makeMixedLoop(std::uint64_t iterations);
+
+/**
+ * Hist: shared-memory histogram over [r2, r3) of the shared array
+ * (element indices); each shared-bucket update happens under that
+ * bucket's CAS lock.  Registers at load time: r1 = array base,
+ * r2 = start index, r3 = end index, r4 = bucket base, r5 = lock base.
+ * outer_iterations == 0 wraps the work in an infinite loop.
+ */
+isa::Program makeHistProgram(std::uint64_t outer_iterations);
+
+/** Two-phase test app: compute phase then idle (nop) phase, repeated
+ *  forever. r15 != 0 starts in the idle phase (interleaved schedule). */
+isa::Program makeTwoPhaseProgram(std::uint64_t compute_iters,
+                                 std::uint64_t idle_iters);
+
+/** Thread-to-core mapping for the microbenchmark studies. */
+enum class Microbench
+{
+    Int,
+    HP,
+    Hist,
+};
+
+const char *microbenchName(Microbench m);
+
+/**
+ * Load a microbenchmark onto `cores` cores with `threads_per_core`
+ * in {1, 2} threads each, using the paper's thread mappings (HP
+ * alternates its two thread types across cores for 1 T/C and runs one
+ * of each per core for 2 T/C).  Hist divides `total_elements` of work
+ * across all threads (constant total work); Int and HP scale total
+ * work with thread count.  `iterations` == 0 gives the infinite power
+ * variant.  Returns the programs that must stay alive while running.
+ */
+std::vector<isa::Program>
+loadMicrobench(sim::System &system, Microbench bench, std::uint32_t cores,
+               std::uint32_t threads_per_core, std::uint64_t iterations,
+               std::uint64_t total_elements = 4096);
+
+/** Seed Hist's shared input array with random values. */
+void initHistData(arch::MainMemory &memory, std::uint64_t elements,
+                  Rng &rng);
+
+} // namespace piton::workloads
+
+#endif // PITON_WORKLOADS_MICROBENCHMARKS_HH

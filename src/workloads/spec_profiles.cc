@@ -1,0 +1,44 @@
+#include "workloads/spec_profiles.hh"
+
+#include "common/logging.hh"
+
+namespace piton::workloads
+{
+
+const std::vector<SpecBenchmark> &
+specint2006Profiles()
+{
+    // Columns: name, T2000 minutes (Table IX), loadFrac, storeFrac,
+    // branchFrac, L1->L2 MPKI, L2 MPKI on T1 (3 MB), L2 MPKI on Piton
+    // (1.6 MB), ioActivity, operand activity.
+    static const std::vector<SpecBenchmark> profiles = {
+        {"bzip2-chicken", 11.74, 0.26, 0.09, 0.15, 9.0, 1.5, 5.4, 1.2, 58},
+        {"bzip2-source", 23.62, 0.27, 0.10, 0.15, 10.0, 2.0, 7.0, 1.3, 58},
+        {"gcc-166", 5.72, 0.25, 0.13, 0.20, 12.0, 2.5, 10.0, 1.5, 50},
+        {"gcc-200", 9.21, 0.26, 0.13, 0.20, 12.0, 3.0, 12.5, 1.5, 50},
+        {"gobmk-13x13", 16.67, 0.28, 0.14, 0.19, 10.0, 1.0, 4.6, 1.2, 52},
+        {"h264ref-foreman-baseline", 22.76, 0.35, 0.12, 0.08, 4.0, 0.2,
+         1.5, 1.4, 64},
+        {"hmmer-nph3", 48.38, 0.41, 0.16, 0.08, 6.0, 0.3, 2.0, 5.5, 66},
+        {"libquantum", 201.61, 0.25, 0.06, 0.25, 20.0, 5.0, 10.5, 4.5, 46},
+        {"omnetpp", 72.94, 0.34, 0.18, 0.21, 25.0, 6.0, 23.0, 1.2, 48},
+        {"perlbench-checkspam", 11.57, 0.33, 0.18, 0.21, 14.0, 3.0, 13.3,
+         1.4, 52},
+        {"perlbench-diffmail", 23.13, 0.33, 0.18, 0.21, 14.0, 3.0, 13.2,
+         1.4, 52},
+        {"sjeng", 122.07, 0.27, 0.11, 0.19, 8.0, 1.0, 4.5, 1.1, 54},
+        {"xalancbmk", 102.99, 0.32, 0.09, 0.24, 15.0, 3.0, 11.3, 1.3, 50},
+    };
+    return profiles;
+}
+
+const SpecBenchmark &
+specProfile(const std::string &name)
+{
+    for (const auto &b : specint2006Profiles())
+        if (b.name == name)
+            return b;
+    piton_fatal("unknown SPEC profile '%s'", name.c_str());
+}
+
+} // namespace piton::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SPECint 2006 surrogate workload profiles (Section IV-I, Table IX).
+ *
+ * The paper boots Debian Linux on the Piton system and on a Sun Fire
+ * T2000 (UltraSPARC T1) and runs ten SPECint 2006 benchmarks (thirteen
+ * benchmark/input pairs).  We cannot run SPEC binaries inside a C++
+ * instruction-level model at full scale, so each pair is represented
+ * by a *surrogate profile*: an instruction mix, L1/L2 miss densities
+ * per machine (the T2000 has 3 MB of L2 vs Piton's 1.6 MB, so Piton's
+ * L2 MPKI is higher), an I/O activity factor (hmmer and libquantum
+ * show high VIO activity in the paper), and the measured T2000
+ * execution time, from which the analytic model (src/perfmodel)
+ * derives instruction counts and Piton's execution time, power, and
+ * energy.  Profiles are calibrated against published SPEC CPU2006
+ * characterizations ([47] in the paper); the calibration is documented
+ * in EXPERIMENTS.md.
+ */
+
+#ifndef PITON_WORKLOADS_SPEC_PROFILES_HH
+#define PITON_WORKLOADS_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+namespace piton::workloads
+{
+
+struct SpecBenchmark
+{
+    std::string name;          ///< benchmark/input, e.g. "gcc-166"
+    double t2000Minutes;       ///< measured UltraSPARC T1 time (Table IX)
+
+    // Instruction mix (fractions of dynamic instructions).
+    double loadFrac;
+    double storeFrac;
+    double branchFrac;
+    // The remainder is integer ALU work.
+
+    /** L1D misses that hit some L2, per kilo-instruction (both
+     *  machines use the same core + L1s). */
+    double l1MpkiToL2;
+    /** L2 misses per kilo-instruction on the T2000 (3 MB L2). */
+    double l2MpkiT1;
+    /** L2 misses per kilo-instruction on Piton (1.6 MB aggregate). */
+    double l2MpkiPiton;
+    /** Relative VIO (I/O rail) activity; ~1 is quiet, >4 is the
+     *  hmmer/libquantum "high I/O activity" regime. */
+    double ioActivity;
+
+    /** Average operand switching activity (0..128) for EPI lookup. */
+    double operandActivity;
+};
+
+/** The thirteen benchmark/input pairs of Table IX. */
+const std::vector<SpecBenchmark> &specint2006Profiles();
+
+/** Look up a profile by name; fatal on unknown names. */
+const SpecBenchmark &specProfile(const std::string &name);
+
+} // namespace piton::workloads
+
+#endif // PITON_WORKLOADS_SPEC_PROFILES_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the test-board measurement chain and the integrated
+ * System, including the Table V calibration checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "board/measurement.hh"
+#include "board/test_board.hh"
+#include "isa/assembler.hh"
+#include "sim/system.hh"
+
+namespace piton
+{
+namespace
+{
+
+TEST(TestBoard, RemoteSenseHoldsSocketVoltage)
+{
+    board::TestBoard b;
+    EXPECT_DOUBLE_EQ(b.socketVoltage(power::Rail::Vdd, 2.0), 1.0);
+    b.channel(power::Rail::Vdd).remoteSense = false;
+    EXPECT_LT(b.socketVoltage(power::Rail::Vdd, 2.0), 1.0);
+}
+
+TEST(TestBoard, DieSeesIrDropBelowSocket)
+{
+    board::TestBoard b;
+    const double die_v = b.dieVoltage(power::Rail::Vdd, 2.0);
+    EXPECT_LT(die_v, 1.0);
+    EXPECT_NEAR(die_v, 1.0 - 2.0 * 0.030, 1e-12);
+}
+
+TEST(TestBoard, SampleIsNoisyButUnbiased)
+{
+    board::TestBoard b(99);
+    RunningStats s;
+    for (int i = 0; i < 2000; ++i)
+        s.add(b.sampleRail(power::Rail::Vdd, 2.0).powerW());
+    EXPECT_NEAR(s.mean(), 2.0, 0.002);
+    // Noise level consistent with the paper's +/-1.5 mW error bars.
+    EXPECT_GT(s.stddev(), 0.0003);
+    EXPECT_LT(s.stddev(), 0.004);
+}
+
+TEST(TestBoard, SupplySetpointOutOfRangeIsRejected)
+{
+    board::TestBoard b;
+    EXPECT_THROW(b.setSupply(power::Rail::Vdd, 3.0), std::logic_error);
+}
+
+TEST(Measurement, CollectsRequestedSampleCount)
+{
+    board::TestBoard b(5);
+    const board::PowerMeasurement m =
+        board::collectMeasurement(b, 128, [] {
+            return std::array<double, 3>{1.0, 0.5, 0.1};
+        });
+    EXPECT_EQ(m.vddW.count(), 128u);
+    EXPECT_NEAR(m.vddW.mean(), 1.0, 0.005);
+    EXPECT_NEAR(m.vcsW.mean(), 0.5, 0.005);
+    EXPECT_NEAR(m.vioW.mean(), 0.1, 0.005);
+    EXPECT_NEAR(m.onChipMeanW(), 1.5, 0.01);
+}
+
+class SystemTest : public testing::Test
+{
+  protected:
+    sim::SystemOptions opts_;
+};
+
+TEST_F(SystemTest, StaticPowerMatchesTableV)
+{
+    sim::System sys(opts_);
+    const auto m = sys.measureStatic();
+    // Chip #2: 389.3 +/- 1.5 mW at room temperature.
+    EXPECT_NEAR(wToMw(m.onChipMeanW()), 389.3, 8.0);
+    EXPECT_LT(wToMw(m.onChipStddevW()), 5.0);
+}
+
+TEST_F(SystemTest, IdlePowerMatchesTableV)
+{
+    sim::System sys(opts_);
+    const auto m = sys.measure(); // no programs loaded: idle
+    // Chip #2: 2015.3 +/- 1.5 mW at 500.05 MHz.
+    EXPECT_NEAR(wToMw(m.onChipMeanW()), 2015.3, 40.0);
+    // Closed-form helper agrees with the measured path.
+    EXPECT_NEAR(sys.idlePowerW(), m.onChipMeanW(), 0.05);
+}
+
+TEST_F(SystemTest, Chip3IdleIsLowerThanChip2)
+{
+    sim::System sys2(opts_);
+    sim::SystemOptions o3 = opts_;
+    o3.chipId = 3;
+    sim::System sys3(o3);
+    // Chip #3: idle 1906.2 mW vs Chip #2's 2015.3 mW (Section IV-H).
+    const double idle2 = wToMw(sys2.idlePowerW());
+    const double idle3 = wToMw(sys3.idlePowerW());
+    EXPECT_NEAR(idle2 - idle3, 109.0, 40.0);
+    EXPECT_NEAR(idle3, 1906.2, 40.0);
+}
+
+TEST_F(SystemTest, RunningWorkRaisesMeasuredPower)
+{
+    sim::System idle_sys(opts_);
+    const double idle = idle_sys.measure(32).onChipMeanW();
+
+    sim::System busy_sys(opts_);
+    const isa::Program p = isa::assemble(R"(
+        set 0, %r1
+    loop:
+        add %r1, 1, %r1
+        xor %r1, %r2, %r3
+        and %r3, %r2, %r4
+        cmp %r1, 0
+        bne loop
+        halt
+    )");
+    for (TileId t = 0; t < 25; ++t)
+        busy_sys.loadProgram(t, 0, &p);
+    const double busy = busy_sys.measure(32).onChipMeanW();
+    EXPECT_GT(busy, idle + 0.2); // 25 active cores add >200 mW
+    EXPECT_LT(busy, idle + 2.0);
+}
+
+TEST_F(SystemTest, VoltageScalingChangesIdlePower)
+{
+    sim::SystemOptions low = opts_;
+    low.vddV = 0.8;
+    low.vcsV = 0.85;
+    low.coreClockMhz = 285.74;
+    sim::System low_sys(low);
+
+    sim::SystemOptions high = opts_;
+    high.vddV = 1.1;
+    high.vcsV = 1.15;
+    high.coreClockMhz = 600.06;
+    sim::System high_sys(high);
+
+    const double p_low = low_sys.idlePowerW();
+    const double p_nom = sim::System(opts_).idlePowerW();
+    const double p_high = high_sys.idlePowerW();
+    EXPECT_LT(p_low, 0.65 * p_nom);
+    EXPECT_GT(p_high, 1.35 * p_nom); // super-linear growth (Fig. 10)
+}
+
+TEST_F(SystemTest, RunToCompletionSplitsActiveAndIdleEnergy)
+{
+    sim::System sys(opts_);
+    const isa::Program p = isa::assemble(R"(
+        set 0, %r1
+    loop:
+        add %r1, 1, %r1
+        cmp %r1, 20000
+        bl loop
+        halt
+    )");
+    sys.loadProgram(0, 0, &p);
+    const sim::CompletionResult r = sys.runToCompletion(10'000'000);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.cycles, 20000u * 5 - 1000);
+    EXPECT_GT(r.activeEnergyJ, 0.0);
+    EXPECT_GT(r.idleEnergyJ, r.activeEnergyJ); // 1 core of 25 active
+    EXPECT_NEAR(r.onChipEnergyJ, r.activeEnergyJ + r.idleEnergyJ, 1e-12);
+    EXPECT_NEAR(r.seconds, r.cycles / sys.coreClockHz(), 1e-12);
+}
+
+TEST_F(SystemTest, WindowPowersAdvanceThermalState)
+{
+    sim::System sys(opts_);
+    const double t0 = sys.dieTempC();
+    for (int i = 0; i < 2000; ++i)
+        sys.windowTruePowers(5000);
+    EXPECT_GT(sys.dieTempC(), t0); // 2 W idle warms the die
+}
+
+TEST_F(SystemTest, MeasurementErrorMatchesPaperScale)
+{
+    sim::System sys(opts_);
+    const auto m = sys.measure();
+    // Table V reports +/-1.5 mW on ~2 W signals.
+    EXPECT_GT(wToMw(m.onChipStddevW()), 0.3);
+    EXPECT_LT(wToMw(m.onChipStddevW()), 6.0);
+}
+
+} // namespace
+} // namespace piton

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the configuration module (Tables I-III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/piton_params.hh"
+
+namespace piton::config
+{
+namespace
+{
+
+TEST(PitonParams, TableIValues)
+{
+    const PitonParams p;
+    EXPECT_EQ(p.process, "IBM 32nm SOI");
+    EXPECT_DOUBLE_EQ(p.dieAreaMm2, 36.0);
+    EXPECT_GT(p.transistorCount, 460'000'000u - 1);
+    EXPECT_DOUBLE_EQ(p.nominalVddV, 1.00);
+    EXPECT_DOUBLE_EQ(p.nominalVcsV, 1.05);
+    EXPECT_DOUBLE_EQ(p.nominalVioV, 1.80);
+    EXPECT_EQ(p.tileCount, 25u);
+    EXPECT_EQ(p.meshWidth * p.meshHeight, p.tileCount);
+    EXPECT_EQ(p.nocCount, 3u);
+    EXPECT_EQ(p.nocWidthBits, 64u);
+    EXPECT_EQ(p.threadsPerCore, 2u);
+    EXPECT_EQ(p.totalThreads, 50u);
+    EXPECT_EQ(p.corePipelineDepth, 6u);
+    EXPECT_EQ(p.storeBufferEntries, 8u);
+}
+
+TEST(PitonParams, CacheGeometry)
+{
+    const PitonParams p;
+    EXPECT_EQ(p.l1i.sizeBytes, 16u * 1024);
+    EXPECT_EQ(p.l1i.associativity, 4u);
+    EXPECT_EQ(p.l1i.lineBytes, 32u);
+    EXPECT_EQ(p.l1i.numSets(), 128u);
+    EXPECT_EQ(p.l1d.sizeBytes, 8u * 1024);
+    EXPECT_EQ(p.l1d.lineBytes, 16u);
+    EXPECT_EQ(p.l1d.numSets(), 128u);
+    EXPECT_EQ(p.l15.sizeBytes, 8u * 1024);
+    EXPECT_EQ(p.l2Slice.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l2Slice.lineBytes, 64u);
+    EXPECT_EQ(p.l2Slice.numSets(), 256u);
+    // 1.6 MB aggregate L2 (Table I).
+    EXPECT_EQ(p.totalL2Bytes(), 1600u * 1024);
+}
+
+TEST(PitonParams, TableIIFrequencies)
+{
+    const SystemFrequencies f;
+    EXPECT_DOUBLE_EQ(f.gatewayToPitonMhz, 180.0);
+    EXPECT_DOUBLE_EQ(f.chipsetLogicMhz, 280.0);
+    EXPECT_DOUBLE_EQ(f.dramPhyMhz, 800.0);
+    EXPECT_DOUBLE_EQ(f.dramControllerMhz, 200.0);
+    EXPECT_DOUBLE_EQ(f.sdCardSpiMhz, 20.0);
+    EXPECT_DOUBLE_EQ(f.uartBps, 115200.0);
+}
+
+TEST(PitonParams, TableIIIDefaults)
+{
+    const MeasurementDefaults d;
+    EXPECT_DOUBLE_EQ(d.vddV, 1.00);
+    EXPECT_DOUBLE_EQ(d.vcsV, 1.05);
+    EXPECT_DOUBLE_EQ(d.vioV, 1.80);
+    EXPECT_DOUBLE_EQ(d.coreClockMhz, 500.05);
+    EXPECT_EQ(d.monitorSamples, 128u);
+    EXPECT_DOUBLE_EQ(d.monitorPollHz, 17.0);
+}
+
+TEST(Mesh, CoordinateRoundTrip)
+{
+    const PitonParams p;
+    for (TileId t = 0; t < p.tileCount; ++t) {
+        const TileCoord c = tileCoord(p, t);
+        EXPECT_EQ(tileIdAt(p, c.x, c.y), t);
+    }
+}
+
+TEST(Mesh, HopDistances)
+{
+    const PitonParams p;
+    EXPECT_EQ(hopDistance(p, 0, 0), 0u);
+    EXPECT_EQ(hopDistance(p, 0, 1), 1u);   // one hop east
+    EXPECT_EQ(hopDistance(p, 0, 2), 2u);
+    EXPECT_EQ(hopDistance(p, 0, 9), 5u);   // the paper's 5-hop example
+    EXPECT_EQ(hopDistance(p, 0, 24), 8u);  // full-chip diagonal
+    EXPECT_EQ(hopDistance(p, 24, 0), 8u);  // symmetric
+    EXPECT_EQ(hopDistance(p, 12, 12), 0u);
+}
+
+TEST(Mesh, MaxHopCountIsEight)
+{
+    const PitonParams p;
+    std::uint32_t max_hops = 0;
+    for (TileId a = 0; a < p.tileCount; ++a)
+        for (TileId b = 0; b < p.tileCount; ++b)
+            max_hops = std::max(max_hops, hopDistance(p, a, b));
+    EXPECT_EQ(max_hops, 8u); // "the maximum hop count for a 5x5 mesh"
+}
+
+} // namespace
+} // namespace piton::config

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the ISA: encodings, ALU semantics, builder, assembler.
+ */
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "isa/alu.hh"
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace piton::isa
+{
+namespace
+{
+
+TEST(InstClassMap, MatchesPaperGroups)
+{
+    EXPECT_EQ(classOf(Opcode::Nop), InstClass::Nop);
+    EXPECT_EQ(classOf(Opcode::And), InstClass::IntSimple);
+    EXPECT_EQ(classOf(Opcode::Add), InstClass::IntSimple);
+    EXPECT_EQ(classOf(Opcode::Mulx), InstClass::IntMul);
+    EXPECT_EQ(classOf(Opcode::Sdivx), InstClass::IntDiv);
+    EXPECT_EQ(classOf(Opcode::Faddd), InstClass::FpAddD);
+    EXPECT_EQ(classOf(Opcode::Fdivs), InstClass::FpDivS);
+    EXPECT_EQ(classOf(Opcode::Ldx), InstClass::Load);
+    EXPECT_EQ(classOf(Opcode::Stx), InstClass::Store);
+    EXPECT_EQ(classOf(Opcode::Casx), InstClass::Atomic);
+    EXPECT_EQ(classOf(Opcode::Beq), InstClass::Branch);
+}
+
+TEST(LatencyTable, MatchesPaperTableVI)
+{
+    const LatencyTable t;
+    EXPECT_EQ(t.latencyOf(InstClass::Nop), 1u);
+    EXPECT_EQ(t.latencyOf(InstClass::IntSimple), 1u);
+    EXPECT_EQ(t.latencyOf(InstClass::IntMul), 11u);
+    EXPECT_EQ(t.latencyOf(InstClass::IntDiv), 72u);
+    EXPECT_EQ(t.latencyOf(InstClass::FpAddD), 22u);
+    EXPECT_EQ(t.latencyOf(InstClass::FpMulD), 25u);
+    EXPECT_EQ(t.latencyOf(InstClass::FpDivD), 79u);
+    EXPECT_EQ(t.latencyOf(InstClass::FpAddS), 22u);
+    EXPECT_EQ(t.latencyOf(InstClass::FpMulS), 25u);
+    EXPECT_EQ(t.latencyOf(InstClass::FpDivS), 50u);
+    EXPECT_EQ(t.latencyOf(InstClass::Load), 3u);
+    EXPECT_EQ(t.latencyOf(InstClass::Store), 10u);
+    EXPECT_EQ(t.latencyOf(InstClass::Branch), 3u);
+}
+
+Instruction
+mk(Opcode op)
+{
+    Instruction i;
+    i.op = op;
+    return i;
+}
+
+TEST(Alu, IntegerOps)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::Add), 2, 3).value, 5u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Sub), 2, 3).value,
+              static_cast<RegVal>(-1));
+    EXPECT_EQ(evalAlu(mk(Opcode::And), 0xF0F0, 0xFF00).value, 0xF000u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Or), 0xF0, 0x0F).value, 0xFFu);
+    EXPECT_EQ(evalAlu(mk(Opcode::Xor), 0xFF, 0x0F).value, 0xF0u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Mulx), 7, 6).value, 42u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Sdivx), 42, 6).value, 7u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Sll), 1, 4).value, 16u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Srl), 16, 4).value, 1u);
+}
+
+TEST(Alu, SignedDivisionEdgeCases)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::Sdivx), 42, 0).value, 0u);
+    const auto int_min =
+        static_cast<RegVal>(std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(evalAlu(mk(Opcode::Sdivx), int_min,
+                      static_cast<RegVal>(-1))
+                  .value,
+              int_min);
+    EXPECT_EQ(evalAlu(mk(Opcode::Sdivx), static_cast<RegVal>(-42), 6).value,
+              static_cast<RegVal>(-7));
+}
+
+TEST(Alu, DoublePrecision)
+{
+    const RegVal a = std::bit_cast<RegVal>(1.5);
+    const RegVal b = std::bit_cast<RegVal>(2.25);
+    EXPECT_DOUBLE_EQ(
+        std::bit_cast<double>(evalAlu(mk(Opcode::Faddd), a, b).value), 3.75);
+    EXPECT_DOUBLE_EQ(
+        std::bit_cast<double>(evalAlu(mk(Opcode::Fmuld), a, b).value),
+        3.375);
+    EXPECT_DOUBLE_EQ(
+        std::bit_cast<double>(evalAlu(mk(Opcode::Fdivd), b, a).value), 1.5);
+}
+
+TEST(Alu, SinglePrecisionLivesInLow32Bits)
+{
+    const auto a =
+        static_cast<RegVal>(std::bit_cast<std::uint32_t>(1.5f));
+    const auto b =
+        static_cast<RegVal>(std::bit_cast<std::uint32_t>(2.5f));
+    const RegVal sum = evalAlu(mk(Opcode::Fadds), a, b).value;
+    EXPECT_EQ(sum >> 32, 0u);
+    EXPECT_FLOAT_EQ(
+        std::bit_cast<float>(static_cast<std::uint32_t>(sum)), 4.0f);
+}
+
+TEST(Alu, CmpSetsConditionCodes)
+{
+    auto r = evalAlu(mk(Opcode::Cmp), 5, 5);
+    EXPECT_TRUE(r.setsCc);
+    EXPECT_TRUE(r.cc.zero);
+    EXPECT_FALSE(r.cc.negative);
+
+    r = evalAlu(mk(Opcode::Cmp), 3, 5);
+    EXPECT_FALSE(r.cc.zero);
+    EXPECT_TRUE(r.cc.negative);
+
+    r = evalAlu(mk(Opcode::Cmp), 7, 5);
+    EXPECT_FALSE(r.cc.zero);
+    EXPECT_FALSE(r.cc.negative);
+}
+
+TEST(Alu, BranchConditions)
+{
+    CondCodes eq{true, false};
+    CondCodes lt{false, true};
+    CondCodes gt{false, false};
+    EXPECT_TRUE(branchTaken(Opcode::Beq, eq));
+    EXPECT_FALSE(branchTaken(Opcode::Beq, lt));
+    EXPECT_TRUE(branchTaken(Opcode::Bne, gt));
+    EXPECT_FALSE(branchTaken(Opcode::Bne, eq));
+    EXPECT_TRUE(branchTaken(Opcode::Bg, gt));
+    EXPECT_FALSE(branchTaken(Opcode::Bg, eq));
+    EXPECT_TRUE(branchTaken(Opcode::Bl, lt));
+    EXPECT_FALSE(branchTaken(Opcode::Bl, gt));
+    EXPECT_TRUE(branchTaken(Opcode::Ba, eq));
+    EXPECT_TRUE(branchTaken(Opcode::Ba, gt));
+}
+
+TEST(Alu, RdhwidReturnsHwid)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::Rdhwid), 0, 0, 37).value, 37u);
+}
+
+TEST(ProgramBuilder, ResolvesBackwardAndForwardLabels)
+{
+    ProgramBuilder b;
+    b.label("start")
+        .addi(1, 1, 1)
+        .cmpi(1, 10)
+        .bl("start")
+        .ba("end")
+        .nop()
+        .label("end")
+        .halt();
+    const Program p = b.build();
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.at(2).target, 0u); // bl start
+    EXPECT_EQ(p.at(3).target, 5u); // ba end
+    EXPECT_EQ(p.at(5).op, Opcode::Halt);
+}
+
+TEST(ProgramBuilder, UndefinedLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.ba("nowhere");
+    EXPECT_EXIT(b.build(), testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(ProgramBuilder, PcAndFootprint)
+{
+    ProgramBuilder b(0x2000);
+    b.nop().nop().nop();
+    const Program p = b.build();
+    EXPECT_EQ(p.baseAddr(), 0x2000u);
+    EXPECT_EQ(p.pcOf(2), 0x2008u);
+    EXPECT_EQ(p.footprintBytes(), 12u);
+}
+
+TEST(Assembler, FullProgramRoundTrip)
+{
+    const char *src = R"(
+        ! increment until 10
+        set 0, %r1
+    loop:
+        add %r1, 1, %r1
+        cmp %r1, 10
+        bl loop
+        ldx [%r2 + 16], %r3
+        stx %r3, [%r2 + 24]
+        casx [%r4], %r5, %r6
+        faddd %f0, %f2, %f4
+        rdhwid %r7
+        halt
+    )";
+    const Program p = assemble(src);
+    ASSERT_EQ(p.size(), 10u);
+    EXPECT_EQ(p.at(0).op, Opcode::SetImm);
+    EXPECT_EQ(p.at(1).op, Opcode::Add);
+    EXPECT_TRUE(p.at(1).useImm);
+    EXPECT_EQ(p.at(1).rd, 1);
+    EXPECT_EQ(p.at(3).op, Opcode::Bl);
+    EXPECT_EQ(p.at(3).target, 1u);
+    EXPECT_EQ(p.at(4).op, Opcode::Ldx);
+    EXPECT_EQ(p.at(4).imm, 16);
+    EXPECT_EQ(p.at(4).rd, 3);
+    EXPECT_EQ(p.at(5).op, Opcode::Stx);
+    EXPECT_EQ(p.at(5).rd, 3); // data register
+    EXPECT_EQ(p.at(6).op, Opcode::Casx);
+    EXPECT_EQ(p.at(7).op, Opcode::Faddd);
+    EXPECT_TRUE(p.at(7).fp);
+    EXPECT_EQ(p.at(7).rd, 4);
+    EXPECT_EQ(p.at(9).op, Opcode::Halt);
+}
+
+TEST(Assembler, HexAndNegativeImmediates)
+{
+    const Program p = assemble(R"(
+        set 0xAAAAAAAAAAAAAAAA, %r1
+        add %r1, -8, %r2
+        ldx [%r1 - 16], %r3
+    )");
+    EXPECT_EQ(static_cast<std::uint64_t>(p.at(0).imm),
+              0xAAAAAAAAAAAAAAAAULL);
+    EXPECT_EQ(p.at(1).imm, -8);
+    EXPECT_EQ(p.at(2).imm, -16);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus %r1\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+    EXPECT_THROW(assemble("add %r1, %r2\n"), AsmError);     // arity
+    EXPECT_THROW(assemble("ldx %r1, %r2\n"), AsmError);     // not [..]
+    EXPECT_THROW(assemble("add %r99, %r1, %r2\n"), AsmError); // bad reg
+    // Undefined branch labels surface at build() via piton_fatal, which
+    // terminates the process; covered by ProgramBuilder.UndefinedLabelIsFatal.
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored)
+{
+    const Program p = assemble("\n  ! only a comment\n# another\nnop\n");
+    EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Mnemonics, RoundTripNames)
+{
+    EXPECT_STREQ(mnemonic(Opcode::Sdivx), "sdivx");
+    EXPECT_STREQ(mnemonic(Opcode::Faddd), "faddd");
+    EXPECT_STREQ(className(InstClass::FpDivD), "fp-div-d");
+    EXPECT_TRUE(isBranch(Opcode::Ba));
+    EXPECT_FALSE(isBranch(Opcode::Add));
+    EXPECT_TRUE(isMemory(Opcode::Casx));
+    EXPECT_FALSE(isMemory(Opcode::Cmp));
+}
+
+} // namespace
+} // namespace piton::isa

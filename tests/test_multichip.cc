@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the multi-socket extension: socket-interleaved homes,
+ * cross-chip latency composition, energy on both sockets' bridges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multichip/multichip.hh"
+
+namespace piton::multichip
+{
+namespace
+{
+
+TEST(MultiChip, SingleSocketBehavesLikeAChip)
+{
+    MultiChipSystem sys(1);
+    EXPECT_EQ(sys.socketCount(), 1u);
+    EXPECT_EQ(sys.homeSocket(0x12345), 0u);
+    const auto out = sys.crossChipLoad(0, 3, 0x4000, 1);
+    EXPECT_EQ(sys.fabricCrossings(), 0u); // never leaves the socket
+    EXPECT_GE(out.latency, 395u);         // cold: off-chip DRAM
+}
+
+TEST(MultiChip, HomesInterleaveAcrossSockets)
+{
+    MultiChipSystem sys(4);
+    std::array<int, 4> seen{};
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        ++seen[sys.homeSocket(a)];
+    for (const int count : seen)
+        EXPECT_EQ(count, 4);
+}
+
+TEST(MultiChip, CrossChipLoadCostsMoreThanLocal)
+{
+    MultiChipSystem sys(2);
+    // Address homed on socket 1.
+    Addr remote_addr = 0x40;
+    ASSERT_EQ(sys.homeSocket(remote_addr), 1u);
+
+    // Warm the line into socket 1's L2 (a local access there).
+    sys.localLoad(1, 0, remote_addr, 1);
+
+    const auto cross = sys.crossChipLoad(0, 12, remote_addr, 100);
+    EXPECT_EQ(sys.fabricCrossings(), 1u);
+    EXPECT_TRUE(cross.remoteL2Hit);
+    // Two fabric crossings (~73 cycles each way) plus meshes: the
+    // paper's motivation for the on-chip/off-chip locality gap.
+    EXPECT_GT(cross.latency, 150u);
+    EXPECT_LT(cross.latency, 400u);
+
+    // A warm local access on socket 0 (its own homed line).
+    Addr local_addr = 0x0;
+    ASSERT_EQ(sys.homeSocket(local_addr), 0u);
+    sys.localLoad(0, 12, local_addr, 1);
+    const auto local = sys.localLoad(0, 12, local_addr, 200);
+    EXPECT_LT(local.latency, cross.latency);
+}
+
+TEST(MultiChip, ColdCrossChipLoadPaysSharedDramToo)
+{
+    MultiChipSystem sys(2);
+    const auto cold = sys.crossChipLoad(0, 0, 0x40, 50);
+    EXPECT_FALSE(cold.remoteL2Hit);
+    EXPECT_GT(cold.latency, 500u); // fabric + remote socket's miss path
+}
+
+TEST(MultiChip, CrossingChargesBothSockets)
+{
+    MultiChipSystem sys(2);
+    sys.localLoad(1, 0, 0x40, 1); // warm at home
+    const double s0_before =
+        sys.socket(0).ledger().total().total();
+    const double s1_before =
+        sys.socket(1).ledger().total().total();
+    const auto out = sys.crossChipLoad(0, 0, 0x40, 100);
+    EXPECT_GT(out.energyJ, 0.0);
+    EXPECT_GT(sys.socket(0).ledger().total().total(), s0_before);
+    EXPECT_GT(sys.socket(1).ledger().total().total(), s1_before);
+    // VIO pad energy appears on both sockets' I/O rails.
+    EXPECT_GT(sys.socket(0).ledger().total().get(power::Rail::Vio), 0.0);
+    EXPECT_GT(sys.socket(1).ledger().total().get(power::Rail::Vio), 0.0);
+}
+
+TEST(MultiChip, SocketsRunIndependentWorkloads)
+{
+    MultiChipSystem sys(2);
+    // Socket ledgers are independent: running nothing accumulates
+    // nothing on socket 1 while socket 0 sees local traffic.
+    sys.localLoad(0, 5, 0x0, 1);
+    EXPECT_GT(sys.socket(0).ledger().total().total(), 0.0);
+    EXPECT_DOUBLE_EQ(sys.socket(1).ledger().total().total(), 0.0);
+}
+
+TEST(MultiChip, RejectsBadConfigs)
+{
+    EXPECT_THROW(MultiChipSystem(0), std::logic_error);
+    EXPECT_THROW(MultiChipSystem(17), std::logic_error);
+    MultiChipSystem sys(2);
+    EXPECT_THROW(sys.crossChipLoad(5, 0, 0, 0), std::logic_error);
+}
+
+} // namespace
+} // namespace piton::multichip

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the analytic machine/SPEC model (Tables VIII and IX).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/app_experiments.hh"
+#include "perfmodel/machine.hh"
+#include "perfmodel/spec_model.hh"
+#include "workloads/spec_profiles.hh"
+
+namespace piton::perfmodel
+{
+namespace
+{
+
+TEST(Machine, TableVIIIParameters)
+{
+    const MachineParams t1 = sunFireT2000();
+    const MachineParams piton = pitonSystem();
+    EXPECT_DOUBLE_EQ(t1.processorFreqMhz, 1000.0);
+    EXPECT_DOUBLE_EQ(piton.processorFreqMhz, 500.05);
+    EXPECT_DOUBLE_EQ(t1.memoryLatencyNs, 108.0);
+    EXPECT_DOUBLE_EQ(piton.memoryLatencyNs, 848.0);
+    EXPECT_EQ(t1.memoryDataBits, 64u);
+    EXPECT_EQ(piton.memoryDataBits, 32u);
+    EXPECT_EQ(t1.threadsPerCore, 4u);
+    EXPECT_EQ(piton.threadsPerCore, 2u);
+    EXPECT_DOUBLE_EQ(t1.l2SizeMb, 3.0);
+    EXPECT_DOUBLE_EQ(piton.l2SizeMb, 1.6);
+    // The 8x memory-latency discrepancy the paper highlights.
+    EXPECT_NEAR(piton.memoryLatencyNs / t1.memoryLatencyNs, 7.85, 0.1);
+}
+
+TEST(Machine, CycleConversions)
+{
+    const MachineParams piton = pitonSystem();
+    // 848 ns at 500.05 MHz = ~424 core cycles (Fig. 15 / Table VII).
+    EXPECT_NEAR(piton.memLatencyCycles(), 424.0, 1.0);
+    const MachineParams t1 = sunFireT2000();
+    EXPECT_NEAR(t1.memLatencyCycles(), 108.0, 0.1);
+}
+
+class SpecModelTest : public testing::Test
+{
+  protected:
+    SpecModel model_ = core::makePaperSpecModel();
+};
+
+TEST_F(SpecModelTest, SlowdownsTrackTableIX)
+{
+    // Paper values (Table IX).
+    const std::vector<std::pair<std::string, double>> expected = {
+        {"bzip2-chicken", 4.89}, {"bzip2-source", 5.46},
+        {"gcc-166", 6.70},       {"gcc-200", 7.67},
+        {"gobmk-13x13", 4.65},   {"h264ref-foreman-baseline", 3.12},
+        {"hmmer-nph3", 3.41},    {"libquantum", 5.83},
+        {"omnetpp", 9.97},       {"perlbench-checkspam", 8.00},
+        {"perlbench-diffmail", 7.97}, {"sjeng", 4.66},
+        {"xalancbmk", 7.09},
+    };
+    for (const auto &[name, slowdown] : expected) {
+        const SpecResult r =
+            model_.evaluate(workloads::specProfile(name));
+        EXPECT_NEAR(r.slowdown, slowdown, slowdown * 0.12) << name;
+    }
+}
+
+TEST_F(SpecModelTest, SlowdownOrderingPreserved)
+{
+    // omnetpp is the worst case; h264ref the best (Table IX).
+    const auto omnetpp =
+        model_.evaluate(workloads::specProfile("omnetpp"));
+    const auto h264 = model_.evaluate(
+        workloads::specProfile("h264ref-foreman-baseline"));
+    for (const auto &r : model_.evaluateAll()) {
+        EXPECT_LE(r.slowdown, omnetpp.slowdown + 1e-9) << r.name;
+        EXPECT_GE(r.slowdown, h264.slowdown - 1e-9) << r.name;
+    }
+}
+
+TEST_F(SpecModelTest, PowerInPaperBand)
+{
+    // Table IX: Piton average power 2.08 .. 2.40 W.
+    for (const auto &r : model_.evaluateAll()) {
+        EXPECT_GT(r.pitonAvgPowerW, 2.0) << r.name;
+        EXPECT_LT(r.pitonAvgPowerW, 2.55) << r.name;
+    }
+}
+
+TEST_F(SpecModelTest, HighIoBenchmarksDrawTheMostPower)
+{
+    // hmmer and libquantum are the exceptions with high I/O activity.
+    const auto all = model_.evaluateAll();
+    double hmmer_w = 0.0, max_quiet_w = 0.0;
+    for (const auto &r : all) {
+        if (r.name == "hmmer-nph3")
+            hmmer_w = r.pitonAvgPowerW;
+        else if (r.name != "libquantum")
+            max_quiet_w = std::max(max_quiet_w, r.pitonAvgPowerW);
+    }
+    EXPECT_GT(hmmer_w, max_quiet_w);
+}
+
+TEST_F(SpecModelTest, EnergyCorrelatesWithExecutionTime)
+{
+    // "Energy results correlate closely with execution times, as the
+    // average power is similar across applications."
+    const auto all = model_.evaluateAll();
+    for (const auto &r : all) {
+        const double implied_kj =
+            r.pitonAvgPowerW * r.pitonMinutes * 60.0 / 1000.0;
+        EXPECT_NEAR(r.pitonEnergyKj, implied_kj, 1e-9) << r.name;
+    }
+    // libquantum is the energy heavyweight (161 kJ in the paper).
+    const auto lq = model_.evaluate(workloads::specProfile("libquantum"));
+    EXPECT_GT(lq.pitonEnergyKj, 100.0);
+    EXPECT_LT(lq.pitonEnergyKj, 250.0);
+}
+
+TEST_F(SpecModelTest, ExecutionTimesNearTableIX)
+{
+    // Spot checks against Table IX's Piton minutes (+/-15%).
+    const std::vector<std::pair<std::string, double>> expected = {
+        {"gcc-166", 38.28},
+        {"libquantum", 1175.70},
+        {"omnetpp", 727.04},
+        {"sjeng", 569.22},
+    };
+    for (const auto &[name, minutes] : expected) {
+        const SpecResult r =
+            model_.evaluate(workloads::specProfile(name));
+        EXPECT_NEAR(r.pitonMinutes, minutes, minutes * 0.15) << name;
+    }
+}
+
+TEST_F(SpecModelTest, ActivityScalesRailPowers)
+{
+    const auto &gcc = workloads::specProfile("gcc-166");
+    const auto low = model_.pitonRailPowers(gcc, 0.7);
+    const auto high = model_.pitonRailPowers(gcc, 1.3);
+    EXPECT_GT(high[0], low[0]);
+    EXPECT_GT(high[2], low[2]);
+    // Fig. 16 scale: VDD ~1.77 W, VCS ~0.27 W.
+    const auto nominal = model_.pitonRailPowers(gcc, 1.0);
+    EXPECT_NEAR(nominal[0], 1.78, 0.12);
+    EXPECT_NEAR(nominal[1], 0.29, 0.05);
+}
+
+TEST(TimeSeries, Fig16TraceHasPhasesAndNoise)
+{
+    core::PowerTimeSeriesExperiment exp(42);
+    const auto trace =
+        exp.run(workloads::specProfile("gcc-166"), 2.0, 600.0);
+    ASSERT_EQ(trace.size(), 300u);
+    RunningStats core_mw, io_mw;
+    for (const auto &pt : trace) {
+        core_mw.add(pt.coreMw);
+        io_mw.add(pt.ioMw);
+    }
+    // Core power near 1.78 W with visible phase structure.
+    EXPECT_NEAR(core_mw.mean(), 1780.0, 120.0);
+    EXPECT_GT(core_mw.stddev(), 1.0);
+    // I/O rail fluctuates with bursts.
+    EXPECT_GT(io_mw.max(), io_mw.min() + 5.0);
+}
+
+} // namespace
+} // namespace piton::perfmodel

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the linear-algebra helpers and the power-model fitting
+ * workflow (the paper's open-data use case).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/linalg.hh"
+#include "core/power_model_fit.hh"
+#include "isa/assembler.hh"
+#include "workloads/microbenchmarks.hh"
+
+namespace piton
+{
+namespace
+{
+
+TEST(LinAlg, SolvesSmallSystems)
+{
+    // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+    const auto x = solveLinearSystem({2, 1, 1, -1}, {5, 1});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LinAlg, DetectsSingularSystems)
+{
+    EXPECT_TRUE(solveLinearSystem({1, 2, 2, 4}, {3, 6}).empty());
+}
+
+TEST(LinAlg, PivotingHandlesZeroDiagonal)
+{
+    // 0x + y = 1; x + 0y = 2 needs a row swap.
+    const auto x = solveLinearSystem({0, 1, 1, 0}, {1, 2});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LinAlg, LeastSquaresRecoversOverdeterminedFit)
+{
+    // y = 3a + 2b over 4 observations (exactly consistent).
+    const std::vector<double> a = {1, 0, 0, 1, 1, 1, 2, 1};
+    const std::vector<double> b = {3, 2, 5, 8};
+    const auto x = leastSquares(a, 4, 2, b);
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 3.0, 1e-9);
+    EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(PowerModelFit, RecoversEpiScaleAndPredicts)
+{
+    core::PowerModelFit fitter(sim::SystemOptions{}, /*samples=*/12);
+
+    // A reduced training set: int, load, branch-heavy, straight-line.
+    std::vector<core::PowerObservation> train;
+    auto add_variant = [&](const char *label,
+                           workloads::OperandPattern pattern) {
+        std::vector<isa::Program> per_tile;
+        per_tile.reserve(25);
+        for (TileId t = 0; t < 25; ++t)
+            per_tile.push_back(workloads::makeEpiProgram(
+                workloads::epiVariant(label), pattern, t));
+        train.push_back(fitter.observe(label, per_tile, pattern));
+    };
+    add_variant("nop", workloads::OperandPattern::Random);
+    add_variant("add", workloads::OperandPattern::Minimum);
+    add_variant("add", workloads::OperandPattern::Maximum);
+    add_variant("ldx", workloads::OperandPattern::Random);
+    train.push_back(fitter.observe("branchy", isa::assemble(
+        "set 0, %r1\nloop:\nadd %r1, 1, %r1\ncmp %r1, 0\nbne loop\n"
+        "halt\n")));
+
+    const auto model = fitter.fit(train);
+    ASSERT_TRUE(model.valid);
+    EXPECT_NEAR(model.idleW, 2.015, 0.06);
+
+    // Recovered coefficients land near the measured EPI values.
+    const auto cls = [](isa::InstClass c) {
+        return static_cast<std::size_t>(c);
+    };
+    EXPECT_NEAR(model.classEpiPj[cls(isa::InstClass::IntSimple)], 105.0,
+                45.0);
+    EXPECT_NEAR(model.classEpiPj[cls(isa::InstClass::Load)], 295.0,
+                80.0);
+
+    // And the model predicts an unseen mixed workload within ~10%.
+    const auto obs =
+        fitter.observe("int-mix", workloads::makeIntLoop(0));
+    const double predicted = model.predictW(obs.classRates);
+    EXPECT_NEAR(predicted, obs.measuredPowerW,
+                0.10 * obs.measuredPowerW);
+}
+
+TEST(PowerModelFit, FitFailsGracefullyWithTooFewObservations)
+{
+    core::PowerModelFit fitter(sim::SystemOptions{}, /*samples=*/8);
+    std::vector<core::PowerObservation> train;
+    train.push_back(
+        fitter.observe("only-one", workloads::makeIntLoop(0)));
+    const auto model = fitter.fit(train);
+    EXPECT_FALSE(model.valid); // more active classes than observations
+}
+
+} // namespace
+} // namespace piton

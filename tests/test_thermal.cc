@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the lumped-RC thermal model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/thermal_model.hh"
+
+namespace piton::thermal
+{
+namespace
+{
+
+TEST(ThermalModel, StartsAtAmbient)
+{
+    ThermalModel m;
+    EXPECT_DOUBLE_EQ(m.dieTempC(), m.params().ambientC);
+    EXPECT_DOUBLE_EQ(m.packageTempC(), m.params().ambientC);
+}
+
+TEST(ThermalModel, SteadyStateMatchesSeriesResistance)
+{
+    const ThermalModel m;
+    const double p = 2.0;
+    const ThermalState s = m.steadyState(p);
+    const auto &prm = m.params();
+    const double r_total =
+        prm.dieToPackageR + prm.packageToSinkR + prm.sinkToAmbientR;
+    EXPECT_NEAR(s.dieC, prm.ambientC + p * r_total, 1e-9);
+    // Temperature ordering: die > package > sink > ambient.
+    EXPECT_GT(s.dieC, s.packageC);
+    EXPECT_GT(s.packageC, s.sinkC);
+    EXPECT_GT(s.sinkC, prm.ambientC);
+}
+
+TEST(ThermalModel, TransientConvergesToSteadyState)
+{
+    ThermalModel m;
+    const double p = 2.0;
+    const ThermalState target = m.steadyState(p);
+    for (int i = 0; i < 4000; ++i)
+        m.step(p, 1.0);
+    EXPECT_NEAR(m.dieTempC(), target.dieC, 0.05);
+    EXPECT_NEAR(m.packageTempC(), target.packageC, 0.05);
+}
+
+TEST(ThermalModel, DieRespondsFasterThanPackage)
+{
+    ThermalModel m;
+    m.step(2.0, 1.0); // one second of 2 W
+    const double die_rise = m.dieTempC() - m.params().ambientC;
+    const double pkg_rise = m.packageTempC() - m.params().ambientC;
+    EXPECT_GT(die_rise, pkg_rise * 2.0);
+}
+
+TEST(ThermalModel, NoHeatSinkRunsHotter)
+{
+    ThermalModel with_sink;
+    ThermalParams no_sink_params;
+    no_sink_params.hasHeatSink = false;
+    ThermalModel no_sink(no_sink_params);
+    const double p = 0.6; // Fig. 17 operating point
+    EXPECT_GT(no_sink.steadyState(p).packageC,
+              with_sink.steadyState(p).packageC + 5.0);
+}
+
+TEST(ThermalModel, FanTiltRaisesTemperature)
+{
+    ThermalParams params;
+    params.hasHeatSink = false;
+    ThermalModel m(params);
+    const double p = 0.6;
+    m.setFanEffectiveness(1.0);
+    const double t_full = m.steadyState(p).packageC;
+    m.setFanEffectiveness(0.5);
+    const double t_half = m.steadyState(p).packageC;
+    m.setFanEffectiveness(0.0);
+    const double t_off = m.steadyState(p).packageC;
+    EXPECT_LT(t_full, t_half);
+    EXPECT_LT(t_half, t_off);
+    // The fan-driven resistance change is bounded so the exponential
+    // leakage-thermal loop keeps a stable operating point (Fig. 17's
+    // wider span comes mostly from thread count + leakage feedback).
+    EXPECT_LT(t_full, 40.0);
+    EXPECT_GT(t_off, t_full + 1.5);
+}
+
+TEST(ThermalModel, CoolingAfterPowerOff)
+{
+    ThermalModel m;
+    for (int i = 0; i < 2000; ++i)
+        m.step(3.0, 1.0);
+    const double hot = m.dieTempC();
+    for (int i = 0; i < 8000; ++i)
+        m.step(0.0, 1.0);
+    EXPECT_LT(m.dieTempC(), hot);
+    EXPECT_NEAR(m.dieTempC(), m.params().ambientC, 0.2);
+}
+
+TEST(ThermalModel, ThermalHysteresisUnderPhasedLoad)
+{
+    // Alternating power phases trace different (P, T) paths on heating
+    // vs cooling — the loop of Fig. 18.
+    ThermalParams params;
+    params.hasHeatSink = false;
+    ThermalModel m(params);
+    // Warm up under mean power.
+    for (int i = 0; i < 5000; ++i)
+        m.step(0.65, 1.0);
+    double t_end_high = 0.0, t_end_low = 0.0;
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        for (int i = 0; i < 10; ++i)
+            m.step(0.72, 1.0);
+        t_end_high = m.packageTempC();
+        for (int i = 0; i < 10; ++i)
+            m.step(0.62, 1.0);
+        t_end_low = m.packageTempC();
+    }
+    EXPECT_GT(t_end_high, t_end_low); // loop has nonzero area
+    EXPECT_LT(t_end_high - t_end_low, 2.0); // but is a narrow band
+}
+
+TEST(ThermalModel, StepRejectsNonPositiveDt)
+{
+    ThermalModel m;
+    EXPECT_THROW(m.step(1.0, 0.0), std::logic_error);
+}
+
+} // namespace
+} // namespace piton::thermal

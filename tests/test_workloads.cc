@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the workload generators: EPI assembly tests, memory-energy
+ * tests, microbenchmarks, and SPEC profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/epi_tests.hh"
+#include "workloads/memory_tests.hh"
+#include "workloads/microbenchmarks.hh"
+#include "workloads/spec_profiles.hh"
+
+namespace piton::workloads
+{
+namespace
+{
+
+TEST(EpiTests, AllSixteenVariantsExist)
+{
+    // Fig. 11's x-axis: 16 instruction variants.
+    EXPECT_EQ(epiVariants().size(), 16u);
+    EXPECT_EQ(epiVariant("stx (NF)").padNops, 9u);
+    EXPECT_EQ(epiVariant("stx (F)").padNops, 0u);
+    EXPECT_EQ(epiVariant("sdivx").latency, 72u);
+    EXPECT_EQ(epiVariant("fdivd").latency, 79u);
+    EXPECT_FALSE(epiVariant("nop").hasOperands);
+    EXPECT_FALSE(epiVariant("beq (T)").hasOperands);
+}
+
+TEST(EpiTests, UnknownVariantIsFatal)
+{
+    EXPECT_EXIT(epiVariant("bogus"), testing::ExitedWithCode(1),
+                "unknown EPI variant");
+}
+
+TEST(EpiTests, ProgramsFitInL1Caches)
+{
+    // The paper verifies each assembly test fits in the L1 caches.
+    for (const auto &v : epiVariants()) {
+        const isa::Program p =
+            makeEpiProgram(v, OperandPattern::Random, 0);
+        EXPECT_LE(p.footprintBytes(), 16u * 1024)
+            << v.label << " exceeds the 16 KB L1I";
+        EXPECT_GT(p.size(), 20u) << v.label; // unroll factor 20
+    }
+}
+
+TEST(EpiTests, PatternValues)
+{
+    EXPECT_EQ(patternValue(OperandPattern::Minimum, 0), 0u);
+    EXPECT_EQ(patternValue(OperandPattern::Maximum, 0), ~RegVal{0});
+    const RegVal r = patternValue(OperandPattern::Random, 0);
+    const int hw = std::popcount(r);
+    EXPECT_GT(hw, 24);
+    EXPECT_LT(hw, 40);
+}
+
+TEST(EpiTests, TilesUseDisjointDataRegions)
+{
+    // Each of the 25 cores stores to different L2 cache lines to avoid
+    // invoking cache coherence (Section IV-E).
+    for (TileId a = 0; a < 25; ++a)
+        for (TileId b = a + 1; b < 25; ++b)
+            EXPECT_GE(epiDataBase(b) - epiDataBase(a), 0x400u);
+}
+
+TEST(MemoryTests, PlanLatenciesMatchTableVII)
+{
+    EXPECT_EQ(memoryScenarioLatency(MemoryScenario::L1Hit), 3u);
+    EXPECT_EQ(memoryScenarioLatency(MemoryScenario::LocalL2Hit), 34u);
+    EXPECT_EQ(memoryScenarioLatency(MemoryScenario::RemoteL2Hit4), 42u);
+    EXPECT_EQ(memoryScenarioLatency(MemoryScenario::RemoteL2Hit8), 52u);
+    EXPECT_EQ(memoryScenarioLatency(MemoryScenario::L2Miss), 424u);
+}
+
+TEST(MemoryTests, LocalPlanAliasesOneL1SetAtHomeTile)
+{
+    for (const TileId t : {0u, 7u, 24u}) {
+        const MemoryTestPlan plan =
+            makeMemoryTestPlan(MemoryScenario::LocalL2Hit, t);
+        EXPECT_EQ(plan.home, t);
+        ASSERT_EQ(plan.addresses.size(), 20u);
+        const Addr set0 = (plan.addresses[0] / 16) % 128;
+        for (const Addr a : plan.addresses) {
+            EXPECT_EQ((a / 16) % 128, set0);  // same L1D set
+            EXPECT_EQ((a >> 6) % 25, t);      // homed at the tile
+        }
+    }
+}
+
+TEST(MemoryTests, RemotePlansTargetPaperHopCounts)
+{
+    const MemoryTestPlan p4 =
+        makeMemoryTestPlan(MemoryScenario::RemoteL2Hit4, 0);
+    EXPECT_EQ(p4.home, 4u); // 4 hops straight east
+    const MemoryTestPlan p8 =
+        makeMemoryTestPlan(MemoryScenario::RemoteL2Hit8, 0);
+    EXPECT_EQ(p8.home, 24u); // 8 hops, one turn
+}
+
+TEST(MemoryTests, L2MissPlanAliasesOneL2Set)
+{
+    const MemoryTestPlan plan =
+        makeMemoryTestPlan(MemoryScenario::L2Miss, 0);
+    const Addr l2set0 = (plan.addresses[0] / 64) % 256;
+    for (const Addr a : plan.addresses) {
+        EXPECT_EQ((a / 64) % 256, l2set0);
+        EXPECT_EQ((a >> 6) % 25, 0u);
+    }
+}
+
+TEST(Microbenchmarks, IntLoopHaltsAfterIterations)
+{
+    const isa::Program p = makeIntLoop(10);
+    EXPECT_EQ(p.at(p.size() - 1).op, isa::Opcode::Halt);
+    const isa::Program inf = makeIntLoop(0);
+    EXPECT_EQ(inf.at(inf.size() - 1).op, isa::Opcode::Ba);
+}
+
+TEST(Microbenchmarks, HistDividesWorkAcrossThreads)
+{
+    sim::System sys;
+    const auto programs = loadMicrobench(sys, Microbench::Hist, 4, 2,
+                                         /*iterations=*/1, 800);
+    ASSERT_EQ(programs.size(), 1u);
+    // 8 threads x 100 elements each: check the init registers.
+    EXPECT_EQ(sys.pitonChip().core(0).thread(0).regs[2], 0u);
+    EXPECT_EQ(sys.pitonChip().core(0).thread(0).regs[3], 100u);
+    EXPECT_EQ(sys.pitonChip().core(3).thread(1).regs[2], 700u);
+    EXPECT_EQ(sys.pitonChip().core(3).thread(1).regs[3], 800u);
+}
+
+TEST(Microbenchmarks, HistComputesACorrectHistogram)
+{
+    sim::System sys;
+    constexpr std::uint64_t kElems = 256;
+    const auto programs = loadMicrobench(sys, Microbench::Hist, 2, 2,
+                                         /*iterations=*/1, kElems);
+    const auto r = sys.runToCompletion(200'000'000);
+    ASSERT_TRUE(r.completed);
+    // Bucket counts must sum to the element count (one outer pass).
+    std::uint64_t total = 0;
+    for (std::uint32_t bkt = 0; bkt < kHistBuckets; ++bkt)
+        total += sys.pitonChip().memory().read64(kHistBucketsBase + bkt * 8);
+    EXPECT_EQ(total, kElems);
+}
+
+TEST(Microbenchmarks, HpMapsThreadTypesPerPaper)
+{
+    // 2 T/C: each core runs one integer and one mixed thread; the
+    // mixed thread gets a private data base in r1.
+    sim::System sys;
+    const auto programs =
+        loadMicrobench(sys, Microbench::HP, 4, 2, /*iterations=*/0);
+    ASSERT_EQ(programs.size(), 2u);
+    for (TileId c = 0; c < 4; ++c) {
+        EXPECT_EQ(sys.pitonChip().core(c).thread(0).regs[1], 0u);
+        EXPECT_GE(sys.pitonChip().core(c).thread(1).regs[1],
+                  kMixedDataBase);
+    }
+}
+
+TEST(Microbenchmarks, TwoPhaseStartsInRequestedPhase)
+{
+    const isa::Program p = makeTwoPhaseProgram(100, 100);
+    // Just sanity: assembles, loops forever, contains nops.
+    bool has_nop = false;
+    for (const auto &inst : p.instructions())
+        has_nop |= (inst.op == isa::Opcode::Nop);
+    EXPECT_TRUE(has_nop);
+    EXPECT_GT(p.size(), 15u);
+}
+
+TEST(SpecProfiles, ThirteenBenchmarkInputPairs)
+{
+    EXPECT_EQ(specint2006Profiles().size(), 13u);
+    EXPECT_DOUBLE_EQ(specProfile("libquantum").t2000Minutes, 201.61);
+    EXPECT_GT(specProfile("hmmer-nph3").ioActivity, 4.0); // high I/O
+    EXPECT_GT(specProfile("libquantum").ioActivity, 4.0);
+    EXPECT_LT(specProfile("sjeng").ioActivity, 2.0);
+}
+
+TEST(SpecProfiles, PitonL2MissRatesExceedT1)
+{
+    // Piton has roughly half the L2 capacity: every profile must miss
+    // at least as often as on the T2000.
+    for (const auto &b : specint2006Profiles())
+        EXPECT_GE(b.l2MpkiPiton, b.l2MpkiT1) << b.name;
+}
+
+TEST(SpecProfiles, MixFractionsAreSane)
+{
+    for (const auto &b : specint2006Profiles()) {
+        EXPECT_GT(b.loadFrac, 0.0);
+        EXPECT_LT(b.loadFrac + b.storeFrac + b.branchFrac, 0.9) << b.name;
+    }
+}
+
+} // namespace
+} // namespace piton::workloads
