@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_monitor.dir/bench_ablation_monitor.cc.o"
+  "CMakeFiles/bench_ablation_monitor.dir/bench_ablation_monitor.cc.o.d"
+  "bench_ablation_monitor"
+  "bench_ablation_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multichip.dir/bench_ablation_multichip.cc.o"
+  "CMakeFiles/bench_ablation_multichip.dir/bench_ablation_multichip.cc.o.d"
+  "bench_ablation_multichip"
+  "bench_ablation_multichip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multichip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

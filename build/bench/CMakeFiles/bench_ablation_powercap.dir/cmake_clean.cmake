@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_powercap.dir/bench_ablation_powercap.cc.o"
+  "CMakeFiles/bench_ablation_powercap.dir/bench_ablation_powercap.cc.o.d"
+  "bench_ablation_powercap"
+  "bench_ablation_powercap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_powercap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_powermodel.dir/bench_ablation_powermodel.cc.o"
+  "CMakeFiles/bench_ablation_powermodel.dir/bench_ablation_powermodel.cc.o.d"
+  "bench_ablation_powermodel"
+  "bench_ablation_powermodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_powermodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

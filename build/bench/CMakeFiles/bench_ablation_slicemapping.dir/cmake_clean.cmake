@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slicemapping.dir/bench_ablation_slicemapping.cc.o"
+  "CMakeFiles/bench_ablation_slicemapping.dir/bench_ablation_slicemapping.cc.o.d"
+  "bench_ablation_slicemapping"
+  "bench_ablation_slicemapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slicemapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_storebuffer.dir/bench_ablation_storebuffer.cc.o"
+  "CMakeFiles/bench_ablation_storebuffer.dir/bench_ablation_storebuffer.cc.o.d"
+  "bench_ablation_storebuffer"
+  "bench_ablation_storebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_storebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

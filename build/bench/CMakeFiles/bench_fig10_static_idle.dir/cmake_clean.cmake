@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_static_idle.dir/bench_fig10_static_idle.cc.o"
+  "CMakeFiles/bench_fig10_static_idle.dir/bench_fig10_static_idle.cc.o.d"
+  "bench_fig10_static_idle"
+  "bench_fig10_static_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_static_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

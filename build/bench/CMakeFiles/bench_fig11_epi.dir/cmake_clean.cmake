@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_epi.dir/bench_fig11_epi.cc.o"
+  "CMakeFiles/bench_fig11_epi.dir/bench_fig11_epi.cc.o.d"
+  "bench_fig11_epi"
+  "bench_fig11_epi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_epi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_noc_epf.dir/bench_fig12_noc_epf.cc.o"
+  "CMakeFiles/bench_fig12_noc_epf.dir/bench_fig12_noc_epf.cc.o.d"
+  "bench_fig12_noc_epf"
+  "bench_fig12_noc_epf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_noc_epf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

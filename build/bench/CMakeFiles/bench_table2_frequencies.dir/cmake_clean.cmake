@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_frequencies.dir/bench_table2_frequencies.cc.o"
+  "CMakeFiles/bench_table2_frequencies.dir/bench_table2_frequencies.cc.o.d"
+  "bench_table2_frequencies"
+  "bench_table2_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

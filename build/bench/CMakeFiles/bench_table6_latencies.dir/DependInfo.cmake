@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_latencies.cc" "bench/CMakeFiles/bench_table6_latencies.dir/bench_table6_latencies.cc.o" "gcc" "bench/CMakeFiles/bench_table6_latencies.dir/bench_table6_latencies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/piton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/multichip/CMakeFiles/piton_multichip.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/piton_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/piton_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/piton_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/piton_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/piton_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/piton_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/piton_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/piton_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/piton_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/piton_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/piton_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_latencies.dir/bench_table6_latencies.cc.o"
+  "CMakeFiles/bench_table6_latencies.dir/bench_table6_latencies.cc.o.d"
+  "bench_table6_latencies"
+  "bench_table6_latencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

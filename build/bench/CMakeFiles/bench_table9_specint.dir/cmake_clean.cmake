@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_specint.dir/bench_table9_specint.cc.o"
+  "CMakeFiles/bench_table9_specint.dir/bench_table9_specint.cc.o.d"
+  "bench_table9_specint"
+  "bench_table9_specint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_specint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

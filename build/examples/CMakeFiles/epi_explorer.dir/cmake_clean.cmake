@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_explorer.dir/epi_explorer.cpp.o"
+  "CMakeFiles/epi_explorer.dir/epi_explorer.cpp.o.d"
+  "epi_explorer"
+  "epi_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

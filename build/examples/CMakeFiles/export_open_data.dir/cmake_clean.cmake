@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_open_data.dir/export_open_data.cpp.o"
+  "CMakeFiles/export_open_data.dir/export_open_data.cpp.o.d"
+  "export_open_data"
+  "export_open_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_open_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_hierarchy_probe.dir/memory_hierarchy_probe.cpp.o"
+  "CMakeFiles/memory_hierarchy_probe.dir/memory_hierarchy_probe.cpp.o.d"
+  "memory_hierarchy_probe"
+  "memory_hierarchy_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_hierarchy_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("config")
+subdirs("isa")
+subdirs("power")
+subdirs("thermal")
+subdirs("chip")
+subdirs("arch")
+subdirs("board")
+subdirs("sim")
+subdirs("workloads")
+subdirs("perfmodel")
+subdirs("multichip")
+subdirs("core")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache.cc" "src/arch/CMakeFiles/piton_arch.dir/cache.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/cache.cc.o.d"
+  "/root/repo/src/arch/chipset.cc" "src/arch/CMakeFiles/piton_arch.dir/chipset.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/chipset.cc.o.d"
+  "/root/repo/src/arch/core.cc" "src/arch/CMakeFiles/piton_arch.dir/core.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/core.cc.o.d"
+  "/root/repo/src/arch/mem_system.cc" "src/arch/CMakeFiles/piton_arch.dir/mem_system.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/mem_system.cc.o.d"
+  "/root/repo/src/arch/memory.cc" "src/arch/CMakeFiles/piton_arch.dir/memory.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/memory.cc.o.d"
+  "/root/repo/src/arch/mitts.cc" "src/arch/CMakeFiles/piton_arch.dir/mitts.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/mitts.cc.o.d"
+  "/root/repo/src/arch/noc.cc" "src/arch/CMakeFiles/piton_arch.dir/noc.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/noc.cc.o.d"
+  "/root/repo/src/arch/piton_chip.cc" "src/arch/CMakeFiles/piton_arch.dir/piton_chip.cc.o" "gcc" "src/arch/CMakeFiles/piton_arch.dir/piton_chip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/piton_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/piton_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/piton_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/piton_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/piton_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/piton_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

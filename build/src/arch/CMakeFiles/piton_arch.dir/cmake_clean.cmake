@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_arch.dir/cache.cc.o"
+  "CMakeFiles/piton_arch.dir/cache.cc.o.d"
+  "CMakeFiles/piton_arch.dir/chipset.cc.o"
+  "CMakeFiles/piton_arch.dir/chipset.cc.o.d"
+  "CMakeFiles/piton_arch.dir/core.cc.o"
+  "CMakeFiles/piton_arch.dir/core.cc.o.d"
+  "CMakeFiles/piton_arch.dir/mem_system.cc.o"
+  "CMakeFiles/piton_arch.dir/mem_system.cc.o.d"
+  "CMakeFiles/piton_arch.dir/memory.cc.o"
+  "CMakeFiles/piton_arch.dir/memory.cc.o.d"
+  "CMakeFiles/piton_arch.dir/mitts.cc.o"
+  "CMakeFiles/piton_arch.dir/mitts.cc.o.d"
+  "CMakeFiles/piton_arch.dir/noc.cc.o"
+  "CMakeFiles/piton_arch.dir/noc.cc.o.d"
+  "CMakeFiles/piton_arch.dir/piton_chip.cc.o"
+  "CMakeFiles/piton_arch.dir/piton_chip.cc.o.d"
+  "libpiton_arch.a"
+  "libpiton_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

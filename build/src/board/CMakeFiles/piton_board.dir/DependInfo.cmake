@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/board/measurement.cc" "src/board/CMakeFiles/piton_board.dir/measurement.cc.o" "gcc" "src/board/CMakeFiles/piton_board.dir/measurement.cc.o.d"
+  "/root/repo/src/board/test_board.cc" "src/board/CMakeFiles/piton_board.dir/test_board.cc.o" "gcc" "src/board/CMakeFiles/piton_board.dir/test_board.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/piton_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/piton_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/piton_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_board.dir/measurement.cc.o"
+  "CMakeFiles/piton_board.dir/measurement.cc.o.d"
+  "CMakeFiles/piton_board.dir/test_board.cc.o"
+  "CMakeFiles/piton_board.dir/test_board.cc.o.d"
+  "libpiton_board.a"
+  "libpiton_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

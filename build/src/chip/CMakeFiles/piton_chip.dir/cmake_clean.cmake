@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_chip.dir/area_model.cc.o"
+  "CMakeFiles/piton_chip.dir/area_model.cc.o.d"
+  "CMakeFiles/piton_chip.dir/chip_instance.cc.o"
+  "CMakeFiles/piton_chip.dir/chip_instance.cc.o.d"
+  "CMakeFiles/piton_chip.dir/fmax_solver.cc.o"
+  "CMakeFiles/piton_chip.dir/fmax_solver.cc.o.d"
+  "CMakeFiles/piton_chip.dir/yield_model.cc.o"
+  "CMakeFiles/piton_chip.dir/yield_model.cc.o.d"
+  "libpiton_chip.a"
+  "libpiton_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

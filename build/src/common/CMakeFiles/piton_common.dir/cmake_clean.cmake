@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_common.dir/linalg.cc.o"
+  "CMakeFiles/piton_common.dir/linalg.cc.o.d"
+  "CMakeFiles/piton_common.dir/logging.cc.o"
+  "CMakeFiles/piton_common.dir/logging.cc.o.d"
+  "CMakeFiles/piton_common.dir/rng.cc.o"
+  "CMakeFiles/piton_common.dir/rng.cc.o.d"
+  "CMakeFiles/piton_common.dir/stats.cc.o"
+  "CMakeFiles/piton_common.dir/stats.cc.o.d"
+  "CMakeFiles/piton_common.dir/table.cc.o"
+  "CMakeFiles/piton_common.dir/table.cc.o.d"
+  "libpiton_common.a"
+  "libpiton_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

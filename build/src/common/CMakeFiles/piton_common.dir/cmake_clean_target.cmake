@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpiton_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_config.dir/piton_params.cc.o"
+  "CMakeFiles/piton_config.dir/piton_params.cc.o.d"
+  "libpiton_config.a"
+  "libpiton_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_core.dir/app_experiments.cc.o"
+  "CMakeFiles/piton_core.dir/app_experiments.cc.o.d"
+  "CMakeFiles/piton_core.dir/epi_experiment.cc.o"
+  "CMakeFiles/piton_core.dir/epi_experiment.cc.o.d"
+  "CMakeFiles/piton_core.dir/equations.cc.o"
+  "CMakeFiles/piton_core.dir/equations.cc.o.d"
+  "CMakeFiles/piton_core.dir/noc_experiment.cc.o"
+  "CMakeFiles/piton_core.dir/noc_experiment.cc.o.d"
+  "CMakeFiles/piton_core.dir/power_cap.cc.o"
+  "CMakeFiles/piton_core.dir/power_cap.cc.o.d"
+  "CMakeFiles/piton_core.dir/power_model_fit.cc.o"
+  "CMakeFiles/piton_core.dir/power_model_fit.cc.o.d"
+  "CMakeFiles/piton_core.dir/scaling_experiments.cc.o"
+  "CMakeFiles/piton_core.dir/scaling_experiments.cc.o.d"
+  "CMakeFiles/piton_core.dir/thermal_experiments.cc.o"
+  "CMakeFiles/piton_core.dir/thermal_experiments.cc.o.d"
+  "CMakeFiles/piton_core.dir/vf_experiments.cc.o"
+  "CMakeFiles/piton_core.dir/vf_experiments.cc.o.d"
+  "libpiton_core.a"
+  "libpiton_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpiton_core.a"
+)

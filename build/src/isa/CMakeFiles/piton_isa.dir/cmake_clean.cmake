@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_isa.dir/alu.cc.o"
+  "CMakeFiles/piton_isa.dir/alu.cc.o.d"
+  "CMakeFiles/piton_isa.dir/assembler.cc.o"
+  "CMakeFiles/piton_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/piton_isa.dir/instruction.cc.o"
+  "CMakeFiles/piton_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/piton_isa.dir/program.cc.o"
+  "CMakeFiles/piton_isa.dir/program.cc.o.d"
+  "libpiton_isa.a"
+  "libpiton_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

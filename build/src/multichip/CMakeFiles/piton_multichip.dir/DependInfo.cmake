@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multichip/multichip.cc" "src/multichip/CMakeFiles/piton_multichip.dir/multichip.cc.o" "gcc" "src/multichip/CMakeFiles/piton_multichip.dir/multichip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/piton_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/piton_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/piton_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/piton_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/piton_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/piton_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/piton_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_multichip.dir/multichip.cc.o"
+  "CMakeFiles/piton_multichip.dir/multichip.cc.o.d"
+  "libpiton_multichip.a"
+  "libpiton_multichip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_multichip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_perfmodel.dir/machine.cc.o"
+  "CMakeFiles/piton_perfmodel.dir/machine.cc.o.d"
+  "CMakeFiles/piton_perfmodel.dir/spec_model.cc.o"
+  "CMakeFiles/piton_perfmodel.dir/spec_model.cc.o.d"
+  "libpiton_perfmodel.a"
+  "libpiton_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_power.dir/energy_model.cc.o"
+  "CMakeFiles/piton_power.dir/energy_model.cc.o.d"
+  "CMakeFiles/piton_power.dir/vf_model.cc.o"
+  "CMakeFiles/piton_power.dir/vf_model.cc.o.d"
+  "libpiton_power.a"
+  "libpiton_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

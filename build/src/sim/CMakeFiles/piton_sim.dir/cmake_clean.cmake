@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_sim.dir/system.cc.o"
+  "CMakeFiles/piton_sim.dir/system.cc.o.d"
+  "libpiton_sim.a"
+  "libpiton_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_thermal.dir/thermal_model.cc.o"
+  "CMakeFiles/piton_thermal.dir/thermal_model.cc.o.d"
+  "libpiton_thermal.a"
+  "libpiton_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piton_workloads.dir/epi_tests.cc.o"
+  "CMakeFiles/piton_workloads.dir/epi_tests.cc.o.d"
+  "CMakeFiles/piton_workloads.dir/memory_tests.cc.o"
+  "CMakeFiles/piton_workloads.dir/memory_tests.cc.o.d"
+  "CMakeFiles/piton_workloads.dir/microbenchmarks.cc.o"
+  "CMakeFiles/piton_workloads.dir/microbenchmarks.cc.o.d"
+  "CMakeFiles/piton_workloads.dir/spec_profiles.cc.o"
+  "CMakeFiles/piton_workloads.dir/spec_profiles.cc.o.d"
+  "libpiton_workloads.a"
+  "libpiton_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piton_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

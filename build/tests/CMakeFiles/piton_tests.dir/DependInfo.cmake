@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch_basics.cc" "tests/CMakeFiles/piton_tests.dir/test_arch_basics.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_arch_basics.cc.o.d"
+  "/root/repo/tests/test_board_sim.cc" "tests/CMakeFiles/piton_tests.dir/test_board_sim.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_board_sim.cc.o.d"
+  "/root/repo/tests/test_chip.cc" "tests/CMakeFiles/piton_tests.dir/test_chip.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_chip.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/piton_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/piton_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/piton_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_corners.cc" "tests/CMakeFiles/piton_tests.dir/test_corners.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_corners.cc.o.d"
+  "/root/repo/tests/test_experiments.cc" "tests/CMakeFiles/piton_tests.dir/test_experiments.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_experiments.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/piton_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/piton_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/piton_tests.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_mem_system.cc.o.d"
+  "/root/repo/tests/test_multichip.cc" "tests/CMakeFiles/piton_tests.dir/test_multichip.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_multichip.cc.o.d"
+  "/root/repo/tests/test_perfmodel.cc" "tests/CMakeFiles/piton_tests.dir/test_perfmodel.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_perfmodel.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/piton_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_powermodel_fit.cc" "tests/CMakeFiles/piton_tests.dir/test_powermodel_fit.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_powermodel_fit.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/piton_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_thermal.cc" "tests/CMakeFiles/piton_tests.dir/test_thermal.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_thermal.cc.o.d"
+  "/root/repo/tests/test_trace_powercap.cc" "tests/CMakeFiles/piton_tests.dir/test_trace_powercap.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_trace_powercap.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/piton_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/piton_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/piton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/multichip/CMakeFiles/piton_multichip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/piton_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/piton_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/piton_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/piton_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/piton_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/piton_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/piton_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/piton_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/piton_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/piton_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/piton_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
