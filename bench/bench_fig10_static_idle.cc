@@ -20,7 +20,9 @@ main(int argc, char **argv)
     bench::banner("Fig. 10", "Static and idle power vs voltage/frequency");
     const std::uint32_t samples = bench::samplesArg(argc, argv, 48);
 
-    const core::StaticIdleExperiment exp(sim::SystemOptions{}, samples);
+    sim::SystemOptions opts;
+    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    const core::StaticIdleExperiment exp(opts, samples);
     TextTable t({"VDD (V)", "f (MHz)", "Core Static (W)", "SRAM Static (W)",
                  "Core Dynamic (W)", "SRAM Dynamic (W)", "Total Idle (W)"});
     for (const auto &row : exp.runAll()) {

@@ -19,23 +19,27 @@ main(int argc, char **argv)
     bench::banner("Fig. 11", "Energy per instruction (EPI)");
     const std::uint32_t samples = bench::samplesArg(argc, argv, 64);
 
-    core::EpiExperiment exp(sim::SystemOptions{}, samples);
+    sim::SystemOptions opts;
+    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    core::EpiExperiment exp(opts, samples);
     std::cout << "Idle power (subtracted): "
               << fmtF(wToMw(exp.idlePowerW()), 1) << " mW\n\n";
 
+    // runAll fans one (variant, pattern) task per worker thread; rows
+    // come back in variant order, min/random/max for operand variants.
+    const auto rows = exp.runAll();
+    std::size_t r = 0;
     TextTable t({"Instruction", "Latency", "EPI min (pJ)",
                  "EPI random (pJ)", "EPI max (pJ)", "±err (pJ)"});
     for (const auto &v : workloads::epiVariants()) {
         std::string min_s = "-", max_s = "-";
-        core::EpiRow rnd =
-            exp.measure(v, workloads::OperandPattern::Random);
+        core::EpiRow rnd;
         if (v.hasOperands) {
-            min_s = fmtF(
-                exp.measure(v, workloads::OperandPattern::Minimum).epiPj,
-                0);
-            max_s = fmtF(
-                exp.measure(v, workloads::OperandPattern::Maximum).epiPj,
-                0);
+            min_s = fmtF(rows[r++].epiPj, 0);
+            rnd = rows[r++];
+            max_s = fmtF(rows[r++].epiPj, 0);
+        } else {
+            rnd = rows[r++];
         }
         t.addRow({v.label, std::to_string(v.latency), min_s,
                   fmtF(rnd.epiPj, 0), max_s, fmtF(rnd.errPj, 1)});

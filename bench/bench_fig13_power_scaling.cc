@@ -18,7 +18,9 @@ main(int argc, char **argv)
     bench::banner("Fig. 13", "Power scaling with core count");
     const std::uint32_t samples = bench::samplesArg(argc, argv, 48);
 
-    const core::PowerScalingExperiment exp(sim::SystemOptions{}, samples);
+    sim::SystemOptions opts;
+    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    const core::PowerScalingExperiment exp(opts, samples);
     const std::vector<std::uint32_t> grid = {1,  3,  5,  7,  9,  11, 13,
                                              15, 17, 19, 21, 23, 25};
     const auto points = exp.runAll(grid);

@@ -12,16 +12,24 @@
 #include "core/scaling_experiments.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 14", "Multithreading vs multicore power/energy");
 
-    const core::MtVsMcExperiment exp(sim::SystemOptions{},
+    sim::SystemOptions opts;
+    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    const core::MtVsMcExperiment exp(opts,
                                      /*iterations=*/12000,
                                      /*hist_elements=*/4096,
                                      /*hist_outer_iters=*/3);
 
+    // runAll order: bench-major {Int, HP, Hist}, then T/C {1, 2}, then
+    // thread counts 2..24 step 2 (12 points per config).
+    const auto points = exp.runAll();
+    constexpr std::size_t kThreadPoints = 12;
+
+    std::size_t bench_idx = 0;
     for (const auto bench :
          {workloads::Microbench::Int, workloads::Microbench::HP,
           workloads::Microbench::Hist}) {
@@ -31,7 +39,9 @@ main()
                      "Idle E (mJ)", "Total E (mJ)"});
         for (std::uint32_t threads = 2; threads <= 24; threads += 2) {
             for (const std::uint32_t tpc : {1u, 2u}) {
-                const core::MtMcPoint p = exp.measure(bench, tpc, threads);
+                const core::MtMcPoint &p =
+                    points[bench_idx * 2 * kThreadPoints
+                           + (tpc - 1) * kThreadPoints + (threads / 2 - 1)];
                 t.addRow({std::to_string(threads),
                           tpc == 1 ? "1 T/C (MC)" : "2 T/C (MT)",
                           fmtF(p.activePowerW, 3),
@@ -45,6 +55,7 @@ main()
         }
         t.print(std::cout);
         std::cout << '\n';
+        ++bench_idx;
     }
 
     std::cout << "Shape checks (paper): for Int and HP, multithreading"

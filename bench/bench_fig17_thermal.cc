@@ -19,16 +19,15 @@ main(int argc, char **argv)
     bench::banner("Fig. 17", "Power vs package temperature (fan sweep)");
     const std::uint32_t samples = bench::samplesArg(argc, argv, 24);
 
-    const core::ThermalSweepExperiment exp(core::thermalStudyOptions(),
-                                           samples);
+    sim::SystemOptions opts = core::thermalStudyOptions();
+    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    const core::ThermalSweepExperiment exp(opts, samples);
     TextTable t({"Threads", "Fan eff.", "Package T (C)", "Power (mW)"});
-    for (const std::uint32_t threads : {0u, 10u, 20u, 30u, 40u, 50u}) {
-        for (const auto &p : exp.sweep(threads, 8)) {
-            t.addRow({std::to_string(p.activeThreads),
-                      fmtF(p.fanEffectiveness, 2),
-                      fmtF(p.packageTempC, 1),
-                      fmtF(wToMw(p.powerW), 0)});
-        }
+    for (const auto &p : exp.runAll()) {
+        t.addRow({std::to_string(p.activeThreads),
+                  fmtF(p.fanEffectiveness, 2),
+                  fmtF(p.packageTempC, 1),
+                  fmtF(wToMw(p.powerW), 0)});
     }
     t.print(std::cout);
 

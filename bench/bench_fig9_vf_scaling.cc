@@ -12,25 +12,32 @@
 #include "core/vf_experiments.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 9", "Maximum Linux-boot frequency vs VDD");
 
     const core::VfScalingExperiment exp;
+    const std::vector<double> grid =
+        core::VfScalingExperiment::voltageGrid();
+    // Points come back ordered chip-major: chip id 1..3 x the grid.
+    const auto points =
+        exp.runAll({1, 2, 3}, bench::threadsArg(argc, argv, 0));
+
     TextTable t({"VDD (V)", "Chip #1 (MHz)", "Chip #2 (MHz)",
                  "Chip #3 (MHz)", "Notes"});
-    for (const double v : core::VfScalingExperiment::voltageGrid()) {
+    for (std::size_t vi = 0; vi < grid.size(); ++vi) {
         std::string cells[3];
         std::string note;
         for (int id = 1; id <= 3; ++id) {
-            const core::VfPoint p = exp.measure(id, v);
+            const core::VfPoint &p =
+                points[static_cast<std::size_t>(id - 1) * grid.size() + vi];
             cells[id - 1] = fmtF(p.fmaxMhz, 2) + " (+"
                             + fmtF(p.nextStepMhz - p.fmaxMhz, 2) + ")";
             if (p.thermallyLimited)
                 note += "chip" + std::to_string(id) + " thermally limited; ";
         }
-        t.addRow({fmtF(v, 2), cells[0], cells[1], cells[2], note});
+        t.addRow({fmtF(grid[vi], 2), cells[0], cells[1], cells[2], note});
     }
     t.print(std::cout);
 

@@ -8,8 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "arch/piton_chip.hh"
 #include "chip/chip_instance.hh"
+#include "common/parallel.hh"
 #include "isa/assembler.hh"
 #include "sim/system.hh"
 #include "thermal/thermal_model.hh"
@@ -112,6 +115,42 @@ BM_MeasurementWindow(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MeasurementWindow);
+
+/**
+ * Sweep throughput: eight V-f operating points, each a full System
+ * (warmup + measurement) on an independent simulated chip — the shape
+ * of every figure-producing experiment.  Arg is the worker-thread
+ * count; the sweep result is bit-identical at every arg, so the only
+ * thing that changes is wall-clock time.
+ */
+void
+BM_SweepVfOperatingPoints(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    constexpr std::size_t kPoints = 8;
+    std::vector<double> power_w(kPoints);
+    for (auto _ : state) {
+        parallelFor(kPoints, threads, [&](std::size_t i) {
+            sim::SystemOptions o;
+            o.seed = deriveTaskSeed(0x517, i);
+            o.vddV = 0.80 + 0.05 * static_cast<double>(i);
+            o.vcsV = o.vddV + 0.05;
+            sim::System sys(o);
+            const auto programs = workloads::loadMicrobench(
+                sys, workloads::Microbench::Int, 25, 2,
+                /*iterations=*/0);
+            power_w[i] = sys.measure(8).onChipMeanW();
+        });
+        benchmark::DoNotOptimize(power_w);
+    }
+    state.SetItemsProcessed(state.iterations() * kPoints);
+}
+BENCHMARK(BM_SweepVfOperatingPoints)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -18,7 +18,9 @@ main(int argc, char **argv)
     bench::banner("Table VII", "Memory system energy (ldx scenarios)");
     const std::uint32_t samples = bench::samplesArg(argc, argv);
 
-    core::MemoryEnergyExperiment exp(sim::SystemOptions{}, samples);
+    sim::SystemOptions opts;
+    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    core::MemoryEnergyExperiment exp(opts, samples);
     const auto rows = exp.runAll();
 
     const char *paper[] = {"0.28646±0.00089", "1.54±0.25", "1.87±0.32",

@@ -36,6 +36,17 @@ samplesArg(int argc, char **argv, std::uint32_t def = 128)
     return def;
 }
 
+/** Parse --threads N: sweep-level worker threads (0 = all hardware
+ *  threads).  Results are bit-identical at any value. */
+inline unsigned
+threadsArg(int argc, char **argv, unsigned def = 1)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--threads") == 0)
+            return static_cast<unsigned>(std::atoi(argv[i + 1]));
+    return def;
+}
+
 } // namespace piton::bench
 
 #endif // PITON_BENCH_BENCH_UTIL_HH

@@ -8,9 +8,14 @@
  * memory energy, NoC EPF).
  *
  * Usage:
- *   export_open_data [output-dir] [--full]
+ *   export_open_data [output-dir] [--full] [--threads N]
+ *
+ * --threads N fans the sweep-style studies (V-f, EPI, memory energy)
+ * out over N worker threads (0 = all hardware threads); the exported
+ * CSVs are bit-identical at any thread count.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -49,9 +54,13 @@ main(int argc, char **argv)
 {
     std::filesystem::path dir = "open_data";
     bool full = false;
+    unsigned threads = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--full") == 0)
             full = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = static_cast<unsigned>(std::strtoul(argv[++i],
+                                                         nullptr, 10));
         else
             dir = argv[i];
     }
@@ -95,7 +104,7 @@ main(int argc, char **argv)
             {"chip", "vdd_v", "fmax_mhz", "next_step_mhz",
              "thermally_limited", "die_temp_c"}};
         const core::VfScalingExperiment exp;
-        for (const auto &p : exp.runAll()) {
+        for (const auto &p : exp.runAll({1, 2, 3}, threads)) {
             rows.push_back({std::to_string(p.chipId), fmtF(p.vddV, 2),
                             fmtF(p.fmaxMhz, 2), fmtF(p.nextStepMhz, 2),
                             p.thermallyLimited ? "1" : "0",
@@ -142,7 +151,9 @@ main(int argc, char **argv)
         std::vector<std::vector<std::string>> rows = {
             {"instruction", "operand_pattern", "latency_cycles", "epi_pj",
              "err_pj"}};
-        core::EpiExperiment exp(sim::SystemOptions{}, 64);
+        sim::SystemOptions opts;
+        opts.sweepThreads = threads;
+        core::EpiExperiment exp(opts, 64);
         for (const auto &r : exp.runAll()) {
             rows.push_back(
                 {r.variant, workloads::operandPatternName(r.pattern),
@@ -157,7 +168,9 @@ main(int argc, char **argv)
     {
         std::vector<std::vector<std::string>> rows = {
             {"scenario", "latency_cycles", "energy_nj", "err_nj"}};
-        core::MemoryEnergyExperiment exp(sim::SystemOptions{}, 64);
+        sim::SystemOptions opts;
+        opts.sweepThreads = threads;
+        core::MemoryEnergyExperiment exp(opts, 64);
         for (const auto &r : exp.runAll()) {
             rows.push_back({workloads::memoryScenarioName(r.scenario),
                             std::to_string(r.latency),

@@ -105,14 +105,15 @@ NocNetwork::send(const Packet &pkt)
         cur = next;
     }
 
-    // Destination router ejection (data-independent port cost).
-    {
-        const std::uint64_t link = linkId(pkt.net, pkt.dst, Eject);
-        RegVal &last = linkState_[link];
-        for (const RegVal flit : pkt.flits) {
-            total += energy_.nocHopEnergy(0);
-            last = flit;
-        }
+    // Destination router ejection (data-independent port cost).  The
+    // ejection port has no tracked wire state — the cost is constant —
+    // but each flit's traversal is charged to the ledger, so it counts
+    // as a flit hop in the stats as well: energy-per-flit-hop derived
+    // from (ledger energy / flitHops) must divide by the same events it
+    // charged, including 0-hop (same-tile) routes.
+    for (std::size_t i = 0; i < pkt.flits.size(); ++i) {
+        total += energy_.nocHopEnergy(0);
+        ++stats_.flitHops;
     }
 
     stats_.packets += 1;

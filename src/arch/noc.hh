@@ -85,7 +85,21 @@ class NocNetwork
     std::uint32_t turnsBetween(TileId a, TileId b) const;
 
     const NocStats &stats() const { return stats_; }
-    void resetStats() { stats_ = NocStats{}; }
+
+    /**
+     * Reset the counters and, by default, the per-link last-flit state:
+     * otherwise the first flit of the next experiment pays toggle
+     * energy against the previous experiment's traffic, making
+     * back-to-back experiments order-dependent.  Pass
+     * `preserve_link_state = true` to model a continuation of the same
+     * traffic (links keep their latched values).
+     */
+    void resetStats(bool preserve_link_state = false)
+    {
+        stats_ = NocStats{};
+        if (!preserve_link_state)
+            linkState_.clear();
+    }
 
   private:
     /** Unique id for a directed link (from-tile, direction, network). */

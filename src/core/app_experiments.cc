@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 
 namespace piton::core
@@ -22,15 +23,39 @@ PowerTimeSeriesExperiment::PowerTimeSeriesExperiment(std::uint64_t seed)
 
 std::vector<TimeSeriesPoint>
 PowerTimeSeriesExperiment::run(const workloads::SpecBenchmark &bench,
-                               double sample_period_s, double max_seconds)
+                               double sample_period_s,
+                               double max_seconds) const
+{
+    return runSeeded(seed_, bench, sample_period_s, max_seconds);
+}
+
+std::vector<std::vector<TimeSeriesPoint>>
+PowerTimeSeriesExperiment::runAll(double sample_period_s,
+                                  double max_seconds,
+                                  unsigned threads) const
+{
+    const auto &profiles = workloads::specint2006Profiles();
+    std::vector<std::vector<TimeSeriesPoint>> out(profiles.size());
+    parallelFor(profiles.size(), threads, [&](std::size_t i) {
+        out[i] = runSeeded(deriveTaskSeed(seed_, i), profiles[i],
+                           sample_period_s, max_seconds);
+    });
+    return out;
+}
+
+std::vector<TimeSeriesPoint>
+PowerTimeSeriesExperiment::runSeeded(std::uint64_t seed,
+                                     const workloads::SpecBenchmark &bench,
+                                     double sample_period_s,
+                                     double max_seconds) const
 {
     const perfmodel::SpecModel model = makePaperSpecModel();
     const perfmodel::SpecResult r = model.evaluate(bench);
     const double duration =
         std::min(max_seconds, r.pitonMinutes * 60.0);
 
-    Rng rng(seed_);
-    board::TestBoard tb(seed_ ^ 0xF16);
+    Rng rng(seed);
+    board::TestBoard tb(seed ^ 0xF16);
 
     std::vector<TimeSeriesPoint> out;
     // Program phases: piecewise-constant activity segments 20..120 s

@@ -44,9 +44,20 @@ class PowerTimeSeriesExperiment
      */
     std::vector<TimeSeriesPoint>
     run(const workloads::SpecBenchmark &bench, double sample_period_s = 2.0,
-        double max_seconds = 2000.0);
+        double max_seconds = 2000.0) const;
+
+    /** Fig. 16 for every SPECint profile, one benchmark per task
+     *  fanned out over `threads` workers (0 = all hardware threads);
+     *  traces are indexed like specint2006Profiles(). */
+    std::vector<std::vector<TimeSeriesPoint>>
+    runAll(double sample_period_s = 2.0, double max_seconds = 2000.0,
+           unsigned threads = 1) const;
 
   private:
+    std::vector<TimeSeriesPoint>
+    runSeeded(std::uint64_t seed, const workloads::SpecBenchmark &bench,
+              double sample_period_s, double max_seconds) const;
+
     std::uint64_t seed_;
 };
 

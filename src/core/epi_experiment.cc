@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "core/equations.hh"
 
 namespace piton::core
@@ -26,12 +27,25 @@ EpiExperiment::idlePowerW()
     return idleW_;
 }
 
-double
-EpiExperiment::measureInstPowerW(const workloads::EpiVariant &variant,
-                                 workloads::OperandPattern pattern,
-                                 double *stddev_w)
+void
+EpiExperiment::ensureBaselines()
 {
-    sim::System sys(opts_);
+    idlePowerW();
+    if (nopEpiPj_ < 0.0) {
+        const EpiRow nop_row =
+            measureImpl(opts_, workloads::epiVariant("nop"),
+                        workloads::OperandPattern::Random);
+        nopEpiPj_ = nop_row.epiPj;
+    }
+}
+
+double
+EpiExperiment::measureInstPowerW(const sim::SystemOptions &opts,
+                                 const workloads::EpiVariant &variant,
+                                 workloads::OperandPattern pattern,
+                                 double *stddev_w) const
+{
+    sim::System sys(opts);
     std::vector<isa::Program> programs;
     programs.reserve(25);
     for (TileId t = 0; t < 25; ++t) {
@@ -52,10 +66,23 @@ EpiRow
 EpiExperiment::measure(const workloads::EpiVariant &variant,
                        workloads::OperandPattern pattern)
 {
-    const double p_idle = idlePowerW();
+    idlePowerW();
+    if (variant.padNops > 0)
+        ensureBaselines();
+    return measureImpl(opts_, variant, pattern);
+}
+
+EpiRow
+EpiExperiment::measureImpl(const sim::SystemOptions &opts,
+                           const workloads::EpiVariant &variant,
+                           workloads::OperandPattern pattern) const
+{
+    piton_assert(idleW_ >= 0.0, "idle baseline not measured");
+    const double p_idle = idleW_;
     double sigma = 0.0;
-    const double p_inst = measureInstPowerW(variant, pattern, &sigma);
-    const double f = mhzToHz(opts_.coreClockMhz);
+    const double p_inst =
+        measureInstPowerW(opts, variant, pattern, &sigma);
+    const double f = mhzToHz(opts.coreClockMhz);
 
     double epi_j = epiJoules(p_inst, p_idle, f, variant.latency, 25);
     double err_j =
@@ -65,11 +92,7 @@ EpiExperiment::measure(const workloads::EpiVariant &variant,
     if (variant.padNops > 0) {
         // stx(NF): the measured 10-cycle slot contains one store and
         // nine nops; subtract the nop energy (Section IV-E).
-        if (nopEpiPj_ < 0.0) {
-            const EpiRow nop_row = measure(
-                workloads::epiVariant("nop"), workloads::OperandPattern::Random);
-            nopEpiPj_ = nop_row.epiPj;
-        }
+        piton_assert(nopEpiPj_ >= 0.0, "nop baseline not measured");
         epi_j -= variant.padNops * pjToJ(nopEpiPj_);
     }
 
@@ -84,17 +107,31 @@ EpiExperiment::measure(const workloads::EpiVariant &variant,
 std::vector<EpiRow>
 EpiExperiment::runAll()
 {
-    std::vector<EpiRow> rows;
+    ensureBaselines();
+
+    struct Task
+    {
+        const workloads::EpiVariant *variant;
+        workloads::OperandPattern pattern;
+    };
+    std::vector<Task> tasks;
     for (const auto &v : workloads::epiVariants()) {
         if (v.hasOperands) {
             for (const auto p : {workloads::OperandPattern::Minimum,
                                  workloads::OperandPattern::Random,
                                  workloads::OperandPattern::Maximum})
-                rows.push_back(measure(v, p));
+                tasks.push_back({&v, p});
         } else {
-            rows.push_back(measure(v, workloads::OperandPattern::Random));
+            tasks.push_back({&v, workloads::OperandPattern::Random});
         }
     }
+
+    std::vector<EpiRow> rows(tasks.size());
+    parallelFor(tasks.size(), opts_.sweepThreads, [&](std::size_t i) {
+        sim::SystemOptions o = opts_;
+        o.seed = deriveTaskSeed(opts_.seed, i);
+        rows[i] = measureImpl(o, *tasks[i].variant, tasks[i].pattern);
+    });
     return rows;
 }
 
@@ -105,7 +142,15 @@ MemoryEnergyExperiment::MemoryEnergyExperiment(
 }
 
 MemoryEnergyRow
-MemoryEnergyExperiment::measure(workloads::MemoryScenario scenario)
+MemoryEnergyExperiment::measure(workloads::MemoryScenario scenario) const
+{
+    return measureImpl(opts_, scenario);
+}
+
+MemoryEnergyRow
+MemoryEnergyExperiment::measureImpl(
+    const sim::SystemOptions &opts,
+    workloads::MemoryScenario scenario) const
 {
     using workloads::MemoryScenario;
     const bool remote = scenario == MemoryScenario::RemoteL2Hit4
@@ -115,13 +160,13 @@ MemoryEnergyExperiment::measure(workloads::MemoryScenario scenario)
     // Idle reference.
     double p_idle = 0.0, idle_err = 0.0;
     {
-        sim::System sys(opts_);
+        sim::System sys(opts);
         const auto m = sys.measure(samples_);
         p_idle = m.onChipMeanW();
         idle_err = m.onChipStddevW();
     }
 
-    sim::System sys(opts_);
+    sim::System sys(opts);
     Rng rng(0x7E57 + static_cast<std::uint64_t>(scenario));
     std::vector<isa::Program> programs;
     std::vector<workloads::MemoryTestPlan> plans;
@@ -137,7 +182,7 @@ MemoryEnergyExperiment::measure(workloads::MemoryScenario scenario)
     }
 
     const auto m = sys.measure(samples_);
-    const double f = mhzToHz(opts_.coreClockMhz);
+    const double f = mhzToHz(opts.coreClockMhz);
     const std::uint32_t latency = workloads::memoryScenarioLatency(scenario);
 
     MemoryEnergyRow row;
@@ -152,15 +197,19 @@ MemoryEnergyExperiment::measure(workloads::MemoryScenario scenario)
 }
 
 std::vector<MemoryEnergyRow>
-MemoryEnergyExperiment::runAll()
+MemoryEnergyExperiment::runAll() const
 {
     using workloads::MemoryScenario;
-    std::vector<MemoryEnergyRow> rows;
-    for (const auto s :
-         {MemoryScenario::L1Hit, MemoryScenario::LocalL2Hit,
-          MemoryScenario::RemoteL2Hit4, MemoryScenario::RemoteL2Hit8,
-          MemoryScenario::L2Miss})
-        rows.push_back(measure(s));
+    const std::vector<MemoryScenario> scenarios = {
+        MemoryScenario::L1Hit, MemoryScenario::LocalL2Hit,
+        MemoryScenario::RemoteL2Hit4, MemoryScenario::RemoteL2Hit8,
+        MemoryScenario::L2Miss};
+    std::vector<MemoryEnergyRow> rows(scenarios.size());
+    parallelFor(scenarios.size(), opts_.sweepThreads, [&](std::size_t i) {
+        sim::SystemOptions o = opts_;
+        o.seed = deriveTaskSeed(opts_.seed, i);
+        rows[i] = measureImpl(o, scenarios[i]);
+    });
     return rows;
 }
 

@@ -45,9 +45,19 @@ class EpiExperiment
     double idlePowerW();
 
   private:
-    double measureInstPowerW(const workloads::EpiVariant &variant,
+    /** Measure idle power and the nop EPI baseline (needed by padded
+     *  variants) once, before any fan-out; the parallel runAll tasks
+     *  then only read these caches. */
+    void ensureBaselines();
+
+    EpiRow measureImpl(const sim::SystemOptions &opts,
+                       const workloads::EpiVariant &variant,
+                       workloads::OperandPattern pattern) const;
+
+    double measureInstPowerW(const sim::SystemOptions &opts,
+                             const workloads::EpiVariant &variant,
                              workloads::OperandPattern pattern,
-                             double *stddev_w);
+                             double *stddev_w) const;
 
     sim::SystemOptions opts_;
     std::uint32_t samples_;
@@ -71,12 +81,16 @@ class MemoryEnergyExperiment
                                     std::uint32_t samples = 128);
 
     /** Measure one Table VII scenario. */
-    MemoryEnergyRow measure(workloads::MemoryScenario scenario);
+    MemoryEnergyRow measure(workloads::MemoryScenario scenario) const;
 
-    /** All five scenarios in table order. */
-    std::vector<MemoryEnergyRow> runAll();
+    /** All five scenarios in table order, fanned out over
+     *  opts_.sweepThreads workers. */
+    std::vector<MemoryEnergyRow> runAll() const;
 
   private:
+    MemoryEnergyRow measureImpl(const sim::SystemOptions &opts,
+                                workloads::MemoryScenario scenario) const;
+
     sim::SystemOptions opts_;
     std::uint32_t samples_;
 };

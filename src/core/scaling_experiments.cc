@@ -1,6 +1,7 @@
 #include "core/scaling_experiments.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace piton::core
 {
@@ -21,7 +22,16 @@ PowerScalingExperiment::measure(workloads::Microbench bench,
                                 std::uint32_t threads_per_core,
                                 std::uint32_t cores) const
 {
-    sim::System sys(opts_);
+    return measureImpl(opts_, bench, threads_per_core, cores);
+}
+
+PowerScalingPoint
+PowerScalingExperiment::measureImpl(const sim::SystemOptions &opts,
+                                    workloads::Microbench bench,
+                                    std::uint32_t threads_per_core,
+                                    std::uint32_t cores) const
+{
+    sim::System sys(opts);
     const auto programs = workloads::loadMicrobench(
         sys, bench, cores, threads_per_core, /*iterations=*/0,
         kHistElements);
@@ -40,13 +50,27 @@ std::vector<PowerScalingPoint>
 PowerScalingExperiment::runAll(
     const std::vector<std::uint32_t> &core_grid) const
 {
-    std::vector<PowerScalingPoint> out;
+    struct Task
+    {
+        workloads::Microbench bench;
+        std::uint32_t tpc;
+        std::uint32_t cores;
+    };
+    std::vector<Task> tasks;
     for (const auto bench :
          {workloads::Microbench::Int, workloads::Microbench::HP,
           workloads::Microbench::Hist})
         for (const std::uint32_t tpc : {1u, 2u})
             for (const std::uint32_t c : core_grid)
-                out.push_back(measure(bench, tpc, c));
+                tasks.push_back({bench, tpc, c});
+
+    std::vector<PowerScalingPoint> out(tasks.size());
+    parallelFor(tasks.size(), opts_.sweepThreads, [&](std::size_t i) {
+        sim::SystemOptions o = opts_;
+        o.seed = deriveTaskSeed(opts_.seed, i);
+        out[i] =
+            measureImpl(o, tasks[i].bench, tasks[i].tpc, tasks[i].cores);
+    });
     return out;
 }
 
@@ -88,13 +112,22 @@ MtVsMcExperiment::measure(workloads::Microbench bench,
                           std::uint32_t threads_per_core,
                           std::uint32_t threads) const
 {
+    return measureImpl(opts_, bench, threads_per_core, threads);
+}
+
+MtMcPoint
+MtVsMcExperiment::measureImpl(const sim::SystemOptions &opts,
+                              workloads::Microbench bench,
+                              std::uint32_t threads_per_core,
+                              std::uint32_t threads) const
+{
     piton_assert(threads % threads_per_core == 0,
                  "thread count %u not divisible by %u threads/core",
                  threads, threads_per_core);
     const std::uint32_t cores = threads / threads_per_core;
     piton_assert(cores >= 1 && cores <= 25, "core count out of range");
 
-    sim::System sys(opts_);
+    sim::System sys(opts);
     const double idle_full_w = sys.idlePowerW();
 
     const std::uint64_t iters =
@@ -125,13 +158,27 @@ MtVsMcExperiment::measure(workloads::Microbench bench,
 std::vector<MtMcPoint>
 MtVsMcExperiment::runAll() const
 {
-    std::vector<MtMcPoint> out;
+    struct Task
+    {
+        workloads::Microbench bench;
+        std::uint32_t tpc;
+        std::uint32_t threads;
+    };
+    std::vector<Task> tasks;
     for (const auto bench :
          {workloads::Microbench::Int, workloads::Microbench::HP,
           workloads::Microbench::Hist})
         for (const std::uint32_t tpc : {1u, 2u})
             for (std::uint32_t threads = 2; threads <= 24; threads += 2)
-                out.push_back(measure(bench, tpc, threads));
+                tasks.push_back({bench, tpc, threads});
+
+    std::vector<MtMcPoint> out(tasks.size());
+    parallelFor(tasks.size(), opts_.sweepThreads, [&](std::size_t i) {
+        sim::SystemOptions o = opts_;
+        o.seed = deriveTaskSeed(opts_.seed, i);
+        out[i] =
+            measureImpl(o, tasks[i].bench, tasks[i].tpc, tasks[i].threads);
+    });
     return out;
 }
 

@@ -61,6 +61,11 @@ class PowerScalingExperiment
     static constexpr std::uint64_t kHistElements = 16384;
 
   private:
+    PowerScalingPoint measureImpl(const sim::SystemOptions &opts,
+                                  workloads::Microbench bench,
+                                  std::uint32_t threads_per_core,
+                                  std::uint32_t cores) const;
+
     sim::SystemOptions opts_;
     std::uint32_t samples_;
 };
@@ -102,6 +107,11 @@ class MtVsMcExperiment
     std::vector<MtMcPoint> runAll() const;
 
   private:
+    MtMcPoint measureImpl(const sim::SystemOptions &opts,
+                          workloads::Microbench bench,
+                          std::uint32_t threads_per_core,
+                          std::uint32_t threads) const;
+
     sim::SystemOptions opts_;
     std::uint64_t iterations_;
     std::uint64_t histElements_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
 
 namespace piton::core
@@ -30,7 +31,14 @@ ThermalSweepExperiment::ThermalSweepExperiment(sim::SystemOptions opts,
 double
 ThermalSweepExperiment::dynamicPowerW(std::uint32_t threads) const
 {
-    sim::System sys(opts_);
+    return dynamicPowerImplW(opts_, threads);
+}
+
+double
+ThermalSweepExperiment::dynamicPowerImplW(const sim::SystemOptions &opts,
+                                          std::uint32_t threads) const
+{
+    sim::System sys(opts);
     std::vector<isa::Program> programs;
     if (threads > 0) {
         const std::uint32_t cores = (threads + 1) / 2;
@@ -52,14 +60,22 @@ std::vector<ThermalPoint>
 ThermalSweepExperiment::sweep(std::uint32_t threads,
                               std::uint32_t fan_steps) const
 {
-    const double dyn_w = dynamicPowerW(threads);
-    power::EnergyModel energy(opts_.energyParams);
-    energy.setOperatingPoint(opts_.vddV, opts_.vcsV);
-    const chip::ChipInstance inst = chip::makeChip(opts_.chipId);
+    return sweepImpl(opts_, threads, fan_steps);
+}
+
+std::vector<ThermalPoint>
+ThermalSweepExperiment::sweepImpl(const sim::SystemOptions &opts,
+                                  std::uint32_t threads,
+                                  std::uint32_t fan_steps) const
+{
+    const double dyn_w = dynamicPowerImplW(opts, threads);
+    power::EnergyModel energy(opts.energyParams);
+    energy.setOperatingPoint(opts.vddV, opts.vcsV);
+    const chip::ChipInstance inst = chip::makeChip(opts.chipId);
 
     std::vector<ThermalPoint> out;
     for (std::uint32_t s = 0; s < fan_steps; ++s) {
-        thermal::ThermalParams tp = opts_.thermalParams;
+        thermal::ThermalParams tp = opts.thermalParams;
         tp.fanEffectiveness =
             1.0 - static_cast<double>(s) / (fan_steps - 1);
         const thermal::ThermalModel tm(tp);
@@ -89,11 +105,18 @@ ThermalSweepExperiment::sweep(std::uint32_t threads,
 std::vector<ThermalPoint>
 ThermalSweepExperiment::runAll() const
 {
+    const std::vector<std::uint32_t> families = {0u, 10u, 20u,
+                                                 30u, 40u, 50u};
+    std::vector<std::vector<ThermalPoint>> per_family(families.size());
+    parallelFor(families.size(), opts_.sweepThreads, [&](std::size_t i) {
+        sim::SystemOptions o = opts_;
+        o.seed = deriveTaskSeed(opts_.seed, i);
+        per_family[i] = sweepImpl(o, families[i], /*fan_steps=*/12);
+    });
+
     std::vector<ThermalPoint> out;
-    for (const std::uint32_t threads : {0u, 10u, 20u, 30u, 40u, 50u}) {
-        const auto pts = sweep(threads);
+    for (const auto &pts : per_family)
         out.insert(out.end(), pts.begin(), pts.end());
-    }
     return out;
 }
 

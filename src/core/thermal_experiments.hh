@@ -51,10 +51,17 @@ class ThermalSweepExperiment
     std::vector<ThermalPoint> sweep(std::uint32_t threads,
                                     std::uint32_t fan_steps = 12) const;
 
-    /** The full Fig. 17 family: threads 0,10,20,30,40,50. */
+    /** The full Fig. 17 family: threads 0,10,20,30,40,50, one fan
+     *  sweep per task over opts_.sweepThreads workers. */
     std::vector<ThermalPoint> runAll() const;
 
   private:
+    double dynamicPowerImplW(const sim::SystemOptions &opts,
+                             std::uint32_t threads) const;
+    std::vector<ThermalPoint> sweepImpl(const sim::SystemOptions &opts,
+                                        std::uint32_t threads,
+                                        std::uint32_t fan_steps) const;
+
     sim::SystemOptions opts_;
     std::uint32_t samples_;
 };

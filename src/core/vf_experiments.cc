@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace piton::core
 {
@@ -41,12 +42,16 @@ VfScalingExperiment::measure(int chip_id, double vdd_v) const
 }
 
 std::vector<VfPoint>
-VfScalingExperiment::runAll(const std::vector<int> &chip_ids) const
+VfScalingExperiment::runAll(const std::vector<int> &chip_ids,
+                            unsigned threads) const
 {
-    std::vector<VfPoint> out;
-    for (const int id : chip_ids)
-        for (const double v : voltageGrid())
-            out.push_back(measure(id, v));
+    const std::vector<double> grid = voltageGrid();
+    std::vector<VfPoint> out(chip_ids.size() * grid.size());
+    parallelFor(out.size(), threads, [&](std::size_t i) {
+        const int id = chip_ids[i / grid.size()];
+        const double v = grid[i % grid.size()];
+        out[i] = measure(id, v);
+    });
     return out;
 }
 
@@ -59,10 +64,17 @@ StaticIdleExperiment::StaticIdleExperiment(sim::SystemOptions base_options,
 StaticIdleRow
 StaticIdleExperiment::measure(double vdd_v) const
 {
+    return measureImpl(opts_, vdd_v);
+}
+
+StaticIdleRow
+StaticIdleExperiment::measureImpl(const sim::SystemOptions &opts,
+                                  double vdd_v) const
+{
     // Frequency: the minimum of the three chips' maximum frequencies
     // at this voltage (Section IV-D).
-    const VfScalingExperiment vf(power::VfParams{}, opts_.energyParams,
-                                 opts_.thermalParams);
+    const VfScalingExperiment vf(power::VfParams{}, opts.energyParams,
+                                 opts.thermalParams);
     double fmin = 1e12;
     for (const int id : {1, 2, 3})
         fmin = std::min(fmin, vf.measure(id, vdd_v).fmaxMhz);
@@ -72,7 +84,7 @@ StaticIdleExperiment::measure(double vdd_v) const
     row.freqMhz = fmin;
 
     for (const int id : {1, 2, 3}) {
-        sim::SystemOptions o = opts_;
+        sim::SystemOptions o = opts;
         o.chipId = id;
         o.vddV = vdd_v;
         o.vcsV = vdd_v + 0.05;
@@ -92,9 +104,13 @@ StaticIdleExperiment::measure(double vdd_v) const
 std::vector<StaticIdleRow>
 StaticIdleExperiment::runAll() const
 {
-    std::vector<StaticIdleRow> out;
-    for (const double v : VfScalingExperiment::voltageGrid())
-        out.push_back(measure(v));
+    const std::vector<double> grid = VfScalingExperiment::voltageGrid();
+    std::vector<StaticIdleRow> out(grid.size());
+    parallelFor(grid.size(), opts_.sweepThreads, [&](std::size_t i) {
+        sim::SystemOptions o = opts_;
+        o.seed = deriveTaskSeed(opts_.seed, i);
+        out[i] = measureImpl(o, grid[i]);
+    });
     return out;
 }
 

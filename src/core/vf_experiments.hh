@@ -37,8 +37,13 @@ class VfScalingExperiment
         thermal::ThermalParams thermal = {});
 
     VfPoint measure(int chip_id, double vdd_v) const;
+
+    /** Full chips x voltages sweep, fanned out over `threads` workers
+     *  (0 = all hardware threads).  Output order and values are
+     *  identical at any thread count. */
     std::vector<VfPoint> runAll(
-        const std::vector<int> &chip_ids = {1, 2, 3}) const;
+        const std::vector<int> &chip_ids = {1, 2, 3},
+        unsigned threads = 1) const;
 
     /** The voltage grid of Fig. 9/10. */
     static std::vector<double> voltageGrid();
@@ -72,9 +77,16 @@ class StaticIdleExperiment
                                   std::uint32_t samples = 128);
 
     StaticIdleRow measure(double vdd_v) const;
+
+    /** One voltage per task, fanned out over opts_.sweepThreads
+     *  workers; each task gets its own Systems seeded by
+     *  deriveTaskSeed(opts_.seed, taskIndex). */
     std::vector<StaticIdleRow> runAll() const;
 
   private:
+    StaticIdleRow measureImpl(const sim::SystemOptions &opts,
+                              double vdd_v) const;
+
     sim::SystemOptions opts_;
     std::uint32_t samples_;
 };

@@ -146,6 +146,14 @@ System::runToCompletion(Cycle max_cycles)
     const Cycle start_cycle = chip_->now();
     const Cycle chunk = opts_.cyclesPerSample;
 
+    // Consecutive run windows in which the chip advanced zero cycles
+    // without halting.  Such windows represent no simulated time, so
+    // they must not be charged clock-tree/leakage energy; and since a
+    // chip that makes no progress will never make progress on its own,
+    // a short streak is enough to declare the run stalled.
+    constexpr int kMaxNoProgressWindows = 3;
+    int no_progress = 0;
+
     double idle_energy_j = 0.0;
     power::RailEnergy prev_chunk = start_ledger;
     while (chip_->now() - start_cycle < max_cycles) {
@@ -153,8 +161,19 @@ System::runToCompletion(Cycle max_cycles)
         const Cycle before = chip_->now();
         const auto r = chip_->run(std::min(chunk, remaining));
         const Cycle elapsed = chip_->now() - before;
-        const double dt = static_cast<double>(std::max<Cycle>(elapsed, 1))
-                          / coreClockHz();
+        if (elapsed == 0) {
+            if (r.allHalted) {
+                res.completed = true;
+                break;
+            }
+            if (++no_progress >= kMaxNoProgressWindows) {
+                res.stalled = true;
+                break;
+            }
+            continue;
+        }
+        no_progress = 0;
+        const double dt = static_cast<double>(elapsed) / coreClockHz();
         const double clock_w = clockTreePowerW().onChipCoreAndSram();
         const double leak_w =
             energy_.leakagePowerW(thermal_.dieTempC(), instance_.leakFactor)

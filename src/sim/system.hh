@@ -47,6 +47,12 @@ struct SystemOptions
     Cycle cyclesPerSample = 2000;
     Cycle warmupCycles = 30000;
 
+    /** Worker threads for the experiment drivers' sweep fan-outs
+     *  (runAll()-style methods); 0 means all hardware threads.  Each
+     *  sweep point runs in its own System, so results are bit-identical
+     *  at any value (see common/parallel.hh). */
+    unsigned sweepThreads = 1;
+
     power::EnergyParams energyParams = power::defaultEnergyParams();
     thermal::ThermalParams thermalParams;
 };
@@ -55,6 +61,11 @@ struct SystemOptions
 struct CompletionResult
 {
     bool completed = false;
+    /** True when the run was abandoned because the chip stopped making
+     *  forward progress (no cycles elapsed across consecutive run
+     *  windows without halting).  No energy is charged for the
+     *  zero-progress windows. */
+    bool stalled = false;
     Cycle cycles = 0;
     double seconds = 0.0;
     std::uint64_t insts = 0;

@@ -231,9 +231,90 @@ TEST_F(NocTest, StatsAccumulate)
     noc_.send(p);
     EXPECT_EQ(noc_.stats().packets, 1u);
     EXPECT_EQ(noc_.stats().flits, 2u);
-    EXPECT_EQ(noc_.stats().flitHops, 4u); // 2 flits x 2 hops
+    // 2 flits x (2 hops + 1 ejection): every ledger-charged traversal
+    // counts.
+    EXPECT_EQ(noc_.stats().flitHops, 6u);
     noc_.resetStats();
     EXPECT_EQ(noc_.stats().packets, 0u);
+}
+
+TEST_F(NocTest, FlitHopsMatchLedgerChargedEvents)
+{
+    // With all-zero flits no link bit ever toggles, so every charged
+    // event — link hop or ejection — costs exactly nocHopEnergy(0).
+    // The ledger total must then equal flitHops x that cost: the EPF
+    // denominator counts the same events the ledger charged.
+    const double per_event = energy_.nocHopEnergy(0).total();
+
+    // 0-hop (same-tile) packet: 3 flits, ejection only.
+    Packet zero;
+    zero.src = 7;
+    zero.dst = 7;
+    zero.flits = {0, 0, 0};
+    noc_.send(zero);
+    EXPECT_EQ(noc_.stats().flitHops, 3u);
+    EXPECT_NEAR(ledger_.category(power::Category::Noc).total(),
+                3.0 * per_event, 1e-18);
+
+    // Multi-hop packet: 2 flits over 4 hops + ejection = 10 more.
+    noc_.resetStats();
+    power::EnergyLedger fresh;
+    NocNetwork noc2(params_, energy_, fresh);
+    Packet multi;
+    multi.src = 0;
+    multi.dst = 4;
+    multi.flits = {0, 0};
+    noc2.send(multi);
+    EXPECT_EQ(noc2.stats().flitHops, 2u * (4u + 1u));
+    EXPECT_NEAR(fresh.total().total(),
+                static_cast<double>(noc2.stats().flitHops) * per_event,
+                1e-18);
+}
+
+TEST_F(NocTest, ResetStatsClearsLinkState)
+{
+    // Latch all-ones onto the route's links, then reset.  The next
+    // all-zero packet must cost the same as on a fresh network — no
+    // toggle energy carried over from the pre-reset traffic.
+    Packet prime;
+    prime.src = 0;
+    prime.dst = 4;
+    prime.flits = {~0ULL, ~0ULL};
+    noc_.send(prime);
+    noc_.resetStats();
+
+    Packet probe;
+    probe.src = 0;
+    probe.dst = 4;
+    probe.flits = {0, 0};
+    const double after_reset = noc_.send(probe).energyJ;
+
+    power::EnergyLedger fresh_ledger;
+    NocNetwork fresh(params_, energy_, fresh_ledger);
+    EXPECT_DOUBLE_EQ(after_reset, fresh.send(probe).energyJ);
+}
+
+TEST_F(NocTest, ResetStatsCanPreserveLinkState)
+{
+    Packet prime;
+    prime.src = 0;
+    prime.dst = 4;
+    prime.flits = {~0ULL, ~0ULL};
+    noc_.send(prime);
+    noc_.resetStats(/*preserve_link_state=*/true);
+    EXPECT_EQ(noc_.stats().packets, 0u);
+
+    // The first all-zero flit now toggles against the latched ones, so
+    // it must cost strictly more than on a cleared network.
+    Packet probe;
+    probe.src = 0;
+    probe.dst = 4;
+    probe.flits = {0, 0};
+    const double preserved = noc_.send(probe).energyJ;
+
+    power::EnergyLedger fresh_ledger;
+    NocNetwork fresh(params_, energy_, fresh_ledger);
+    EXPECT_GT(preserved, fresh.send(probe).energyJ);
 }
 
 TEST(HeaderFlit, EncodesFields)

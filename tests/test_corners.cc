@@ -136,6 +136,37 @@ TEST(SystemCorners, RunToCompletionOnTimeoutReportsIncomplete)
     EXPECT_GE(r.cycles, 10'000u);
 }
 
+TEST(SystemCorners, ZeroProgressRunTerminatesWithoutPhantomEnergy)
+{
+    // cyclesPerSample = 0 makes every run window advance zero cycles:
+    // a never-halting program then makes no forward progress at all.
+    // The old loop clamped elapsed to 1 cycle, charging clock-tree and
+    // leakage energy for simulated time that never passed — and spun
+    // forever.  Now the run must bail out quickly, flagged as stalled,
+    // with no energy charged for the zero-progress windows.
+    sim::SystemOptions opts;
+    opts.cyclesPerSample = 0;
+    sim::System sys(opts);
+    const isa::Program spin = isa::assemble("loop:\nba loop\n");
+    sys.loadProgram(0, 0, &spin);
+    const auto r = sys.runToCompletion(1'000'000);
+    EXPECT_FALSE(r.completed);
+    EXPECT_TRUE(r.stalled);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.idleEnergyJ, 0.0);
+    EXPECT_EQ(r.onChipEnergyJ, 0.0);
+}
+
+TEST(SystemCorners, NormalRunIsNotFlaggedStalled)
+{
+    sim::System sys;
+    const isa::Program p = isa::assemble("nop\nhalt\n");
+    sys.loadProgram(0, 0, &p);
+    const auto r = sys.runToCompletion(100'000'000);
+    EXPECT_TRUE(r.completed);
+    EXPECT_FALSE(r.stalled);
+}
+
 TEST(SystemCorners, CompletedRunStopsAccumulating)
 {
     sim::System sys;
