@@ -21,7 +21,8 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Extension", "Energy-optimal DVFS operating point");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 16);
+    const std::uint32_t samples =
+        bench::parseBenchArgs(argc, argv, 16).samples;
 
     // Fixed work: an integer kernel on all 50 threads.
     const isa::Program kernel = isa::assemble(R"(

@@ -12,15 +12,16 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/power_cap.hh"
+#include "telemetry/export.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Extension", "Power capping from the characterization");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 16);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv, 16);
 
-    core::PowerCapExperiment exp(sim::SystemOptions{}, samples);
+    core::PowerCapExperiment exp(sim::SystemOptions{}, args.samples);
 
     std::cout << "Static capping (HP, 2 T/C):\n";
     TextTable t({"Cap (W)", "Max cores", "Power (W)", "Headroom (mW)"});
@@ -45,5 +46,12 @@ main(int argc, char **argv)
               << " cores; time above cap: "
               << fmtF(100.0 * trace.violationFraction, 1)
               << "% (the initial overshoot while throttling down).\n";
+    if (!args.outDir.empty()) {
+        telemetry::exportTelemetry(args.outDir, "powercap",
+                                   exp.telemetry());
+        std::cout << "\ntelemetry: " << args.outDir
+                  << "/powercap.{csv,jsonl} ("
+                  << exp.telemetry().seriesCount() << " series)\n";
+    }
     return 0;
 }

@@ -19,7 +19,8 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Extension", "Fit a power model from measurements");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 24);
+    const std::uint32_t samples =
+        bench::parseBenchArgs(argc, argv, 24).samples;
 
     core::PowerModelFit fitter(sim::SystemOptions{}, samples);
     std::cout << "collecting the training set (single-class loops, two "

@@ -18,10 +18,12 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 10", "Static and idle power vs voltage/frequency");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 48);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 48, 0);
+    const std::uint32_t samples = args.samples;
 
     sim::SystemOptions opts;
-    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    opts.sweepThreads = args.threads;
     const core::StaticIdleExperiment exp(opts, samples);
     TextTable t({"VDD (V)", "f (MHz)", "Core Static (W)", "SRAM Static (W)",
                  "Core Dynamic (W)", "SRAM Dynamic (W)", "Total Idle (W)"});

@@ -17,10 +17,12 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 11", "Energy per instruction (EPI)");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 64);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 64, 0);
+    const std::uint32_t samples = args.samples;
 
     sim::SystemOptions opts;
-    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    opts.sweepThreads = args.threads;
     core::EpiExperiment exp(opts, samples);
     std::cout << "Idle power (subtracted): "
               << fmtF(wToMw(exp.idlePowerW()), 1) << " mW\n\n";

@@ -16,7 +16,8 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 12", "NoC energy per flit vs hop count");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 64);
+    const std::uint32_t samples =
+        bench::parseBenchArgs(argc, argv, 64).samples;
 
     core::NocEnergyExperiment exp(sim::SystemOptions{}, samples);
     std::vector<core::EpfRow> rows = exp.runAll();

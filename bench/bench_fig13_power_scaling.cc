@@ -16,10 +16,12 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 13", "Power scaling with core count");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 48);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 48, 0);
+    const std::uint32_t samples = args.samples;
 
     sim::SystemOptions opts;
-    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    opts.sweepThreads = args.threads;
     const core::PowerScalingExperiment exp(opts, samples);
     const std::vector<std::uint32_t> grid = {1,  3,  5,  7,  9,  11, 13,
                                              15, 17, 19, 21, 23, 25};

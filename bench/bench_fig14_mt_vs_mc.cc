@@ -18,7 +18,8 @@ main(int argc, char **argv)
     bench::banner("Fig. 14", "Multithreading vs multicore power/energy");
 
     sim::SystemOptions opts;
-    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    opts.sweepThreads =
+        bench::parseBenchArgs(argc, argv, 128, 0).threads;
     const core::MtVsMcExperiment exp(opts,
                                      /*iterations=*/12000,
                                      /*hist_elements=*/4096,

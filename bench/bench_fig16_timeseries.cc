@@ -11,16 +11,19 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/app_experiments.hh"
+#include "telemetry/export.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 16", "Per-supply power time series (gcc-166)");
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     core::PowerTimeSeriesExperiment exp;
-    const auto trace =
-        exp.run(workloads::specProfile("gcc-166"), 2.0, 2000.0);
+    telemetry::TelemetryRecorder telem;
+    const auto trace = exp.run(workloads::specProfile("gcc-166"), 2.0,
+                               2000.0, &telem);
 
     // Print a decimated series (every 60 s) plus summary statistics.
     TextTable t({"Time (s)", "Core/VDD (mW)", "I/O/VIO (mW)",
@@ -48,5 +51,11 @@ main()
               << "  SRAM: mean " << fmtF(sram_mw.mean(), 1) << " mW, range "
               << fmtF(sram_mw.min(), 1) << ".." << fmtF(sram_mw.max(), 1)
               << " (paper: ~268-280 mW)\n";
+    if (!args.outDir.empty()) {
+        telemetry::exportTelemetry(args.outDir, "fig16_timeseries", telem);
+        std::cout << "\ntelemetry: " << args.outDir
+                  << "/fig16_timeseries.{csv,jsonl} ("
+                  << telem.seriesCount() << " series)\n";
+    }
     return 0;
 }

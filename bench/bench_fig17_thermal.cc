@@ -11,25 +11,37 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/thermal_experiments.hh"
+#include "telemetry/export.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 17", "Power vs package temperature (fan sweep)");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 24);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 24, 0);
 
     sim::SystemOptions opts = core::thermalStudyOptions();
-    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
-    const core::ThermalSweepExperiment exp(opts, samples);
+    opts.sweepThreads = args.threads;
+    const core::ThermalSweepExperiment exp(opts, args.samples);
+    // The sweep runs through the telemetry path: one recorder per
+    // family task, merged in task order (bit-identical at any
+    // --threads value).
+    telemetry::TelemetryRecorder telem;
     TextTable t({"Threads", "Fan eff.", "Package T (C)", "Power (mW)"});
-    for (const auto &p : exp.runAll()) {
+    for (const auto &p : exp.runAll(&telem)) {
         t.addRow({std::to_string(p.activeThreads),
                   fmtF(p.fanEffectiveness, 2),
                   fmtF(p.packageTempC, 1),
                   fmtF(wToMw(p.powerW), 0)});
     }
     t.print(std::cout);
+    if (!args.outDir.empty()) {
+        telemetry::exportTelemetry(args.outDir, "fig17_thermal", telem);
+        std::cout << "\ntelemetry: " << args.outDir
+                  << "/fig17_thermal.{csv,jsonl} (" << telem.seriesCount()
+                  << " series)\n";
+    }
 
     std::cout << "\nShape checks (paper): more active threads shift the"
                  " curve up; at fixed\nthread count, power grows"

@@ -16,7 +16,8 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Fig. 18", "Synchronized vs interleaved scheduling");
-    const std::uint32_t samples = bench::samplesArg(argc, argv, 24);
+    const std::uint32_t samples =
+        bench::parseBenchArgs(argc, argv, 24).samples;
 
     const core::SchedulingExperiment exp(core::thermalStudyOptions(),
                                          samples);

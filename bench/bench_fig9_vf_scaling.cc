@@ -22,7 +22,8 @@ main(int argc, char **argv)
         core::VfScalingExperiment::voltageGrid();
     // Points come back ordered chip-major: chip id 1..3 x the grid.
     const auto points =
-        exp.runAll({1, 2, 3}, bench::threadsArg(argc, argv, 0));
+        exp.runAll({1, 2, 3},
+                   bench::parseBenchArgs(argc, argv, 128, 0).threads);
 
     TextTable t({"VDD (V)", "Chip #1 (MHz)", "Chip #2 (MHz)",
                  "Chip #3 (MHz)", "Notes"});

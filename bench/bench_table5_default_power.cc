@@ -17,7 +17,8 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Table V", "Default power parameters (Chip #2)");
-    const std::uint32_t samples = bench::samplesArg(argc, argv);
+    const std::uint32_t samples =
+        bench::parseBenchArgs(argc, argv).samples;
 
     const core::DefaultPowerResult r = core::measureDefaultPower(2, samples);
     TextTable t({"Parameter", "Measured", "Paper"});

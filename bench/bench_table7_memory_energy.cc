@@ -16,10 +16,12 @@ main(int argc, char **argv)
 {
     using namespace piton;
     bench::banner("Table VII", "Memory system energy (ldx scenarios)");
-    const std::uint32_t samples = bench::samplesArg(argc, argv);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 128, 0);
+    const std::uint32_t samples = args.samples;
 
     sim::SystemOptions opts;
-    opts.sweepThreads = bench::threadsArg(argc, argv, 0);
+    opts.sweepThreads = args.threads;
     core::MemoryEnergyExperiment exp(opts, samples);
     const auto rows = exp.runAll();
 

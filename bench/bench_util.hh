@@ -1,16 +1,21 @@
 /**
  * @file
- * Shared helpers for the reproduction benches: banner printing and a
- * --samples override so the full suite can be run quickly.
+ * Shared helpers for the reproduction benches: banner printing and the
+ * one common command-line parser.  Every bench that takes arguments
+ * goes through parseBenchArgs so the flag set, defaults, and the
+ * hard-error behaviour on unknown flags are identical across binaries.
  */
 
 #ifndef PITON_BENCH_BENCH_UTIL_HH
 #define PITON_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 namespace piton::bench
 {
@@ -26,25 +31,117 @@ banner(const char *id, const char *title)
     std::printf("==============================================================\n\n");
 }
 
-/** Parse --samples N (default: the paper's 128 monitor samples). */
-inline std::uint32_t
-samplesArg(int argc, char **argv, std::uint32_t def = 128)
+/** Parsed common bench arguments (see parseBenchArgs). */
+struct BenchArgs
 {
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::strcmp(argv[i], "--samples") == 0)
-            return static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
-    return def;
+    /** Monitor samples per measurement (the paper records 128). */
+    std::uint32_t samples = 128;
+    /** Sweep-level worker threads (0 = all hardware threads).
+     *  Results are bit-identical at any value (common/parallel.hh). */
+    unsigned threads = 1;
+    /** Telemetry output directory (--out); empty = no export. */
+    std::string outDir;
+    /** Extra boolean flags seen (from the caller's allow-list). */
+    std::vector<std::string> flags;
+    /** Positional arguments, in order. */
+    std::vector<std::string> positionals;
+
+    bool
+    hasFlag(const char *f) const
+    {
+        for (const auto &s : flags)
+            if (s == f)
+                return true;
+        return false;
+    }
+};
+
+namespace detail
+{
+
+[[noreturn]] inline void
+usageError(const char *prog, const char *msg, const char *arg)
+{
+    std::fprintf(stderr, "%s: %s%s%s\n", prog, msg, arg ? ": " : "",
+                 arg ? arg : "");
+    std::fprintf(stderr,
+                 "usage: %s [--samples N] [--threads N] [--out DIR]"
+                 " [extra flags] [positionals]\n",
+                 prog);
+    std::exit(2);
 }
 
-/** Parse --threads N: sweep-level worker threads (0 = all hardware
- *  threads).  Results are bit-identical at any value. */
-inline unsigned
-threadsArg(int argc, char **argv, unsigned def = 1)
+inline long
+numericValue(const char *prog, const char *flag, const char *value)
 {
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::strcmp(argv[i], "--threads") == 0)
-            return static_cast<unsigned>(std::atoi(argv[i + 1]));
-    return def;
+    if (value == nullptr)
+        usageError(prog, "missing value for", flag);
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v < 0 || errno == ERANGE
+        || v > 0x7fffffffL) // fits the uint32_t/unsigned fields
+        usageError(prog, "bad numeric value for", flag);
+    return v;
+}
+
+} // namespace detail
+
+/**
+ * Parse the common bench flags:
+ *   --samples N   monitor samples per measurement
+ *   --threads N   sweep worker threads (0 = all hardware threads)
+ *   --out DIR     telemetry export directory (benches that record
+ *                 telemetry write <dir>/<bench>.{csv,jsonl})
+ * plus any caller-allowed boolean `extra_flags` (e.g. "--full") and up
+ * to `max_positionals` positional arguments.  Anything else — an
+ * unknown flag, a flag missing its value, a non-numeric count, or an
+ * excess positional — is a hard error: usage goes to stderr and the
+ * process exits with status 2.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
+               unsigned def_threads = 1,
+               std::initializer_list<const char *> extra_flags = {},
+               std::size_t max_positionals = 0)
+{
+    BenchArgs args;
+    args.samples = def_samples;
+    args.threads = def_threads;
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(a, "--samples") == 0) {
+            args.samples = static_cast<std::uint32_t>(
+                detail::numericValue(prog, a, next));
+            ++i;
+        } else if (std::strcmp(a, "--threads") == 0) {
+            args.threads = static_cast<unsigned>(
+                detail::numericValue(prog, a, next));
+            ++i;
+        } else if (std::strcmp(a, "--out") == 0) {
+            if (next == nullptr)
+                detail::usageError(prog, "missing value for", a);
+            args.outDir = next;
+            ++i;
+        } else if (a[0] == '-') {
+            bool known = false;
+            for (const char *f : extra_flags)
+                if (std::strcmp(a, f) == 0) {
+                    args.flags.emplace_back(a);
+                    known = true;
+                    break;
+                }
+            if (!known)
+                detail::usageError(prog, "unknown flag", a);
+        } else {
+            if (args.positionals.size() >= max_positionals)
+                detail::usageError(prog, "unexpected argument", a);
+            args.positionals.emplace_back(a);
+        }
+    }
+    return args;
 }
 
 } // namespace piton::bench

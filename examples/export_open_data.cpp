@@ -21,6 +21,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "arch/chipset.hh"
 #include "chip/area_model.hh"
 #include "chip/yield_model.hh"
@@ -52,18 +54,13 @@ writeCsv(const std::filesystem::path &dir, const std::string &name,
 int
 main(int argc, char **argv)
 {
-    std::filesystem::path dir = "open_data";
-    bool full = false;
-    unsigned threads = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--full") == 0)
-            full = true;
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            threads = static_cast<unsigned>(std::strtoul(argv[++i],
-                                                         nullptr, 10));
-        else
-            dir = argv[i];
-    }
+    const piton::bench::BenchArgs args = piton::bench::parseBenchArgs(
+        argc, argv, /*def_samples=*/128, /*def_threads=*/1,
+        /*extra_flags=*/{"--full"}, /*max_positionals=*/1);
+    const bool full = args.hasFlag("--full");
+    const unsigned threads = args.threads;
+    const std::filesystem::path dir =
+        args.positionals.empty() ? "open_data" : args.positionals[0];
     std::filesystem::create_directories(dir);
 
     // Fig. 8: area breakdown.

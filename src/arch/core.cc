@@ -35,6 +35,13 @@ Core::loadProgram(ThreadId tid, const isa::Program *program,
 }
 
 void
+Core::charge(power::Category c, const power::RailEnergy &e)
+{
+    ledger_.add(c, e);
+    coreEnergy_ += e;
+}
+
+void
 Core::chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2)
 {
     const auto activity = power::EnergyModel::operandActivity(rs1, rs2);
@@ -44,8 +51,8 @@ Core::chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2)
         // work of the drafted instruction is saved.
         scale *= 1.0 - energy_.params().execDraftFrontEndFrac;
     }
-    ledger_.add(power::Category::Exec,
-                energy_.instructionEnergy(cls, activity).scaled(scale));
+    charge(power::Category::Exec,
+           energy_.instructionEnergy(cls, activity).scaled(scale));
 }
 
 bool
@@ -141,9 +148,8 @@ Core::tick(Cycle now)
             // work: no context-switch energy is paid for it.
             if (pick != lastIssued_ && !draftActive_) {
                 ++threadSwitches_;
-                ledger_.add(power::Category::Exec,
-                            energy_.threadSwitchEnergy()
-                                .scaled(dynFactor_));
+                charge(power::Category::Exec,
+                       energy_.threadSwitchEnergy().scaled(dynFactor_));
             }
             lastIssued_ = pick;
             const std::uint32_t pc_before = t.pc;
@@ -172,8 +178,8 @@ Core::tick(Cycle now)
         // thread (the FGMT overhead of Section IV-H2).
         if (tid != lastIssued_) {
             ++threadSwitches_;
-            ledger_.add(power::Category::Exec,
-                        energy_.threadSwitchEnergy().scaled(dynFactor_));
+            charge(power::Category::Exec,
+                   energy_.threadSwitchEnergy().scaled(dynFactor_));
         }
         lastIssued_ = tid;
         draftActive_ = draftCheck(tid, t);
@@ -248,8 +254,8 @@ Core::issue(ThreadState &t, ThreadId tid, Cycle now)
             // Speculative issue found the buffer full: roll back this
             // thread and replay the store once a slot frees.
             ++t.storeRollbacks;
-            ledger_.add(power::Category::Rollback,
-                        energy_.rollbackEnergy().scaled(dynFactor_));
+            charge(power::Category::Rollback,
+                   energy_.rollbackEnergy().scaled(dynFactor_));
             t.readyAt = storeBuffer_.front();
             return; // pc unchanged: the store re-executes
         }

@@ -113,6 +113,13 @@ class Core
     }
     std::uint64_t totalInsts() const;
 
+    /** Cumulative core-local energy charged by this tile's core (exec,
+     *  thread switches, store rollbacks) — the per-tile slice of the
+     *  chip ledger the telemetry subsystem samples.  Shared-fabric
+     *  energy (caches, NoC, off-chip) is charged by MemorySystem and
+     *  is not tile-attributable. */
+    const power::RailEnergy &coreEnergy() const { return coreEnergy_; }
+
     /** Store-buffer occupancy (diagnostics / tests). */
     std::size_t storeBufferDepth(Cycle now) const;
 
@@ -127,6 +134,8 @@ class Core
 
   private:
     void issue(ThreadState &t, ThreadId tid, Cycle now);
+    /** Charge to the chip ledger and the per-tile accumulator. */
+    void charge(power::Category c, const power::RailEnergy &e);
     void chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2);
     void drainStoreBuffer(Cycle now);
     /** Execution-Drafting check: does (program, pc) match the sibling
@@ -142,6 +151,7 @@ class Core
     isa::LatencyTable lat_;
 
     std::vector<ThreadState> threads_;
+    power::RailEnergy coreEnergy_;
     std::uint32_t lastIssued_ = 0;
     bool execDrafting_ = false;
     std::uint64_t threadSwitches_ = 0;

@@ -61,9 +61,31 @@ struct NocStats
 {
     std::uint64_t packets = 0;
     std::uint64_t flits = 0;
+    /** Ledger-charged flit traversals: link hops plus the destination
+     *  ejection port (every flit of every packet, including 0-hop
+     *  same-tile routes). */
     std::uint64_t flitHops = 0;
     std::uint64_t toggledBits = 0;
+
+    /** Counter-wise difference against an earlier snapshot (telemetry
+     *  per-window deltas). */
+    NocStats
+    delta(const NocStats &prev) const
+    {
+        return NocStats{packets - prev.packets, flits - prev.flits,
+                        flitHops - prev.flitHops,
+                        toggledBits - prev.toggledBits};
+    }
 };
+
+/** Every NocStats member must be covered by resetStats() (which
+ *  value-initializes the whole struct, so members reset by
+ *  construction), by delta() above, and by the reset-coverage test in
+ *  tests/test_arch_basics.cc.  When adding a counter: update delta(),
+ *  the test, and then this size guard. */
+static_assert(sizeof(NocStats) == 4 * sizeof(std::uint64_t),
+              "NocStats gained a member: cover it in delta() and the "
+              "reset-coverage test, then update this guard");
 
 class NocNetwork
 {

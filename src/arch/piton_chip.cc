@@ -111,6 +111,26 @@ PitonChip::draftedInsts() const
     return n;
 }
 
+std::vector<double>
+PitonChip::tileCoreEnergyJ() const
+{
+    std::vector<double> out;
+    out.reserve(cores_.size());
+    for (const auto &c : cores_)
+        out.push_back(c->coreEnergy().onChipCoreAndSram());
+    return out;
+}
+
+std::vector<std::uint64_t>
+PitonChip::tileInsts() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(cores_.size());
+    for (const auto &c : cores_)
+        out.push_back(c->totalInsts());
+    return out;
+}
+
 std::uint32_t
 PitonChip::activeThreads() const
 {

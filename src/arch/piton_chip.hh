@@ -81,6 +81,14 @@ class PitonChip
     /** Number of threads currently in the Ready state. */
     std::uint32_t activeThreads() const;
 
+    /** Per-tile cumulative core-local energy (J, VDD+VCS): the
+     *  tile-resolved snapshot the telemetry subsystem diffs per
+     *  sample window (see Core::coreEnergy for what it covers). */
+    std::vector<double> tileCoreEnergyJ() const;
+
+    /** Per-tile cumulative retired-instruction counts. */
+    std::vector<std::uint64_t> tileInsts() const;
+
   private:
     config::PitonParams params_;
     chip::ChipInstance instance_;

@@ -1,12 +1,34 @@
 #include "board/measurement.hh"
 
+#include "common/logging.hh"
+#include "telemetry/schema.hh"
+
 namespace piton::board
 {
 
 PowerMeasurement
 collectMeasurement(TestBoard &test_board, std::uint32_t samples,
-                   const std::function<std::array<double, 3>()> &true_powers)
+                   const std::function<std::array<double, 3>()> &true_powers,
+                   telemetry::TelemetryRecorder *telem, double t0_s,
+                   double dt_s)
 {
+    namespace ts = telemetry::schema;
+    std::size_t id_vdd = 0, id_vcs = 0, id_vio = 0, id_onchip = 0;
+    if (telem) {
+        piton_assert(dt_s > 0.0,
+                     "telemetry-routed measurement needs a sample window");
+        using telemetry::Downsample;
+        using telemetry::Unit;
+        id_vdd = telem->defineSeries(ts::kMeasuredVddW, Unit::Watts,
+                                     Downsample::Mean);
+        id_vcs = telem->defineSeries(ts::kMeasuredVcsW, Unit::Watts,
+                                     Downsample::Mean);
+        id_vio = telem->defineSeries(ts::kMeasuredVioW, Unit::Watts,
+                                     Downsample::Mean);
+        id_onchip = telem->defineSeries(ts::kMeasuredOnChipW, Unit::Watts,
+                                        Downsample::Mean);
+    }
+
     PowerMeasurement m;
     for (std::uint32_t i = 0; i < samples; ++i) {
         const std::array<double, 3> p = true_powers();
@@ -20,6 +42,14 @@ collectMeasurement(TestBoard &test_board, std::uint32_t samples,
         m.vcsW.add(vcs.powerW());
         m.vioW.add(vio.powerW());
         m.onChipW.add(vdd.powerW() + vcs.powerW());
+        if (telem) {
+            const double t = t0_s + i * dt_s;
+            telem->record(id_vdd, t, dt_s, vdd.powerW());
+            telem->record(id_vcs, t, dt_s, vcs.powerW());
+            telem->record(id_vio, t, dt_s, vio.powerW());
+            telem->record(id_onchip, t, dt_s,
+                          vdd.powerW() + vcs.powerW());
+        }
     }
     return m;
 }

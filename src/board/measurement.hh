@@ -15,6 +15,7 @@
 #include "board/test_board.hh"
 #include "common/stats.hh"
 #include "power/rails.hh"
+#include "telemetry/recorder.hh"
 
 namespace piton::board
 {
@@ -37,10 +38,17 @@ struct PowerMeasurement
  * per sample and must return the true {VDD, VCS, VIO} rail powers in
  * watts for that sample window (advancing the simulation as a side
  * effect).
+ *
+ * When `telem` is non-null the monitor chain also records each noisy
+ * per-rail reading into the shared telemetry schema (measured.*_w
+ * series), so measured and true series land in the same store with
+ * the same window semantics: sample i covers [t0 + i*dt, +dt).
  */
 PowerMeasurement
 collectMeasurement(TestBoard &test_board, std::uint32_t samples,
-                   const std::function<std::array<double, 3>()> &true_powers);
+                   const std::function<std::array<double, 3>()> &true_powers,
+                   telemetry::TelemetryRecorder *telem = nullptr,
+                   double t0_s = 0.0, double dt_s = 0.0);
 
 } // namespace piton::board
 

@@ -4,6 +4,7 @@
 
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "telemetry/schema.hh"
 
 namespace piton::core
 {
@@ -23,23 +24,31 @@ PowerTimeSeriesExperiment::PowerTimeSeriesExperiment(std::uint64_t seed)
 
 std::vector<TimeSeriesPoint>
 PowerTimeSeriesExperiment::run(const workloads::SpecBenchmark &bench,
-                               double sample_period_s,
-                               double max_seconds) const
+                               double sample_period_s, double max_seconds,
+                               telemetry::TelemetryRecorder *rec) const
 {
-    return runSeeded(seed_, bench, sample_period_s, max_seconds);
+    return runSeeded(seed_, bench, sample_period_s, max_seconds, rec);
 }
 
 std::vector<std::vector<TimeSeriesPoint>>
 PowerTimeSeriesExperiment::runAll(double sample_period_s,
-                                  double max_seconds,
-                                  unsigned threads) const
+                                  double max_seconds, unsigned threads,
+                                  telemetry::TelemetryRecorder *merged) const
 {
     const auto &profiles = workloads::specint2006Profiles();
     std::vector<std::vector<TimeSeriesPoint>> out(profiles.size());
+    // Per-task recorders, merged in task-index order after the join
+    // (bit-identical at any worker count; see common/parallel.hh).
+    std::vector<telemetry::TelemetryRecorder> recs(
+        merged ? profiles.size() : 0);
     parallelFor(profiles.size(), threads, [&](std::size_t i) {
         out[i] = runSeeded(deriveTaskSeed(seed_, i), profiles[i],
-                           sample_period_s, max_seconds);
+                           sample_period_s, max_seconds,
+                           merged ? &recs[i] : nullptr);
     });
+    if (merged)
+        for (std::size_t i = 0; i < recs.size(); ++i)
+            merged->merge(recs[i], profiles[i].name + "/");
     return out;
 }
 
@@ -47,7 +56,8 @@ std::vector<TimeSeriesPoint>
 PowerTimeSeriesExperiment::runSeeded(std::uint64_t seed,
                                      const workloads::SpecBenchmark &bench,
                                      double sample_period_s,
-                                     double max_seconds) const
+                                     double max_seconds,
+                                     telemetry::TelemetryRecorder *rec) const
 {
     const perfmodel::SpecModel model = makePaperSpecModel();
     const perfmodel::SpecResult r = model.evaluate(bench);
@@ -56,6 +66,21 @@ PowerTimeSeriesExperiment::runSeeded(std::uint64_t seed,
 
     Rng rng(seed);
     board::TestBoard tb(seed ^ 0xF16);
+
+    namespace ts = telemetry::schema;
+    std::size_t id_vdd = 0, id_vcs = 0, id_vio = 0, id_onchip = 0;
+    if (rec) {
+        using telemetry::Downsample;
+        using telemetry::Unit;
+        id_vdd = rec->defineSeries(ts::kMeasuredVddW, Unit::Watts,
+                                   Downsample::Mean);
+        id_vcs = rec->defineSeries(ts::kMeasuredVcsW, Unit::Watts,
+                                   Downsample::Mean);
+        id_vio = rec->defineSeries(ts::kMeasuredVioW, Unit::Watts,
+                                   Downsample::Mean);
+        id_onchip = rec->defineSeries(ts::kMeasuredOnChipW, Unit::Watts,
+                                      Downsample::Mean);
+    }
 
     std::vector<TimeSeriesPoint> out;
     // Program phases: piecewise-constant activity segments 20..120 s
@@ -82,6 +107,15 @@ PowerTimeSeriesExperiment::runSeeded(std::uint64_t seed,
         pt.ioMw =
             wToMw(tb.sampleRail(power::Rail::Vio, rails[2]).powerW());
         out.push_back(pt);
+        if (rec) {
+            rec->record(id_vdd, t, sample_period_s,
+                        mwToW(pt.coreMw));
+            rec->record(id_vcs, t, sample_period_s,
+                        mwToW(pt.sramMw));
+            rec->record(id_vio, t, sample_period_s, mwToW(pt.ioMw));
+            rec->record(id_onchip, t, sample_period_s,
+                        mwToW(pt.coreMw + pt.sramMw));
+        }
     }
     return out;
 }

@@ -12,6 +12,7 @@
 
 #include "board/test_board.hh"
 #include "perfmodel/spec_model.hh"
+#include "telemetry/recorder.hh"
 
 namespace piton::core
 {
@@ -40,23 +41,33 @@ class PowerTimeSeriesExperiment
     /**
      * Synthesize the phase-modulated run of one benchmark profile,
      * sampled every `sample_period_s` seconds over the modelled Piton
-     * execution time (capped at `max_seconds` for plotting).
+     * execution time (capped at `max_seconds` for plotting).  When
+     * `rec` is non-null the monitor readings also land there as the
+     * measured.*_w series (watts, one point per sample period).
      */
     std::vector<TimeSeriesPoint>
     run(const workloads::SpecBenchmark &bench, double sample_period_s = 2.0,
-        double max_seconds = 2000.0) const;
+        double max_seconds = 2000.0,
+        telemetry::TelemetryRecorder *rec = nullptr) const;
 
-    /** Fig. 16 for every SPECint profile, one benchmark per task
-     *  fanned out over `threads` workers (0 = all hardware threads);
-     *  traces are indexed like specint2006Profiles(). */
+    /**
+     * Fig. 16 for every SPECint profile, one benchmark per task
+     * fanned out over `threads` workers (0 = all hardware threads);
+     * traces are indexed like specint2006Profiles().  When `merged`
+     * is non-null each task records into its own recorder and the
+     * recorders merge in task-index order under "<benchmark>/"
+     * prefixes — bit-identical at any worker count.
+     */
     std::vector<std::vector<TimeSeriesPoint>>
     runAll(double sample_period_s = 2.0, double max_seconds = 2000.0,
-           unsigned threads = 1) const;
+           unsigned threads = 1,
+           telemetry::TelemetryRecorder *merged = nullptr) const;
 
   private:
     std::vector<TimeSeriesPoint>
     runSeeded(std::uint64_t seed, const workloads::SpecBenchmark &bench,
-              double sample_period_s, double max_seconds) const;
+              double sample_period_s, double max_seconds,
+              telemetry::TelemetryRecorder *rec) const;
 
     std::uint64_t seed_;
 };

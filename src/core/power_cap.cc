@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "telemetry/schema.hh"
 
 namespace piton::core
 {
@@ -28,7 +29,13 @@ PowerCapExperiment::hpPowerW(std::uint32_t cores)
     } else {
         const auto programs = workloads::loadMicrobench(
             sys, workloads::Microbench::HP, cores, 2, /*iterations=*/0);
-        p = sys.measure(samples_).onChipMeanW();
+        // Measure through the telemetry path: the monitor chain lands
+        // its samples in the recorder and the steady-state power is
+        // the aggregate mean of the measured on-chip series.
+        telemetry::TelemetryRecorder rec;
+        sys.attachTelemetry(&rec);
+        sys.measure(samples_);
+        p = rec.aggregate(telemetry::schema::kMeasuredOnChipW).mean;
     }
     powerCache_.emplace(cores, p);
     return p;
@@ -60,6 +67,14 @@ PowerCapExperiment::reactiveGovernor(double cap_w, double interval_s,
     trace.capW = cap_w;
     Rng noise(0xCA9);
 
+    namespace ts = telemetry::schema;
+    const std::size_t id_cores = telem_.defineSeries(
+        ts::kGovernorCores, telemetry::Unit::Count,
+        telemetry::Downsample::Mean);
+    const std::size_t id_power = telem_.defineSeries(
+        ts::kGovernorMeasuredW, telemetry::Unit::Watts,
+        telemetry::Downsample::Mean);
+
     std::uint32_t cores = 25; // full demand at t = 0
     double above_time = 0.0;
     for (double t = 0.0; t < duration_s; t += interval_s) {
@@ -73,6 +88,9 @@ PowerCapExperiment::reactiveGovernor(double cap_w, double interval_s,
         pt.activeCores = cores;
         pt.measuredPowerW = measured;
         trace.points.push_back(pt);
+        telem_.record(id_cores, t, interval_s,
+                      static_cast<double>(cores));
+        telem_.record(id_power, t, interval_s, measured);
 
         if (measured > cap_w)
             above_time += interval_s;

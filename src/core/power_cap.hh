@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/system.hh"
+#include "telemetry/recorder.hh"
 #include "workloads/microbenchmarks.hh"
 
 namespace piton::core
@@ -54,7 +55,12 @@ class PowerCapExperiment
     explicit PowerCapExperiment(sim::SystemOptions opts = {},
                                 std::uint32_t samples = 24);
 
-    /** Steady-state HP power at `cores` active cores (2 T/C), cached. */
+    /** Steady-state HP power at `cores` active cores (2 T/C), cached.
+     *  Measured through the telemetry path: the monitor samples land
+     *  in a per-measurement recorder and the reported power is the
+     *  aggregate mean of the measured.onchip_w series (bit-identical
+     *  to the PowerMeasurement mean — both are the same Welford pass
+     *  over the same samples). */
     double hpPowerW(std::uint32_t cores);
 
     /** Largest HP configuration that fits under the cap. */
@@ -69,10 +75,20 @@ class PowerCapExperiment
                                    double interval_s = 0.5,
                                    double duration_s = 20.0);
 
+    /** The experiment's telemetry store: reactiveGovernor records its
+     *  control trace here (governor.active_cores / governor.measured_w,
+     *  one point per control interval), ready for exportTelemetry(). */
+    const telemetry::TelemetryRecorder &telemetry() const
+    {
+        return telem_;
+    }
+    telemetry::TelemetryRecorder &telemetry() { return telem_; }
+
   private:
     sim::SystemOptions opts_;
     std::uint32_t samples_;
     std::map<std::uint32_t, double> powerCache_;
+    telemetry::TelemetryRecorder telem_;
 };
 
 } // namespace piton::core

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/stats.hh"
+#include "telemetry/schema.hh"
 
 namespace piton::core
 {
@@ -31,12 +32,13 @@ ThermalSweepExperiment::ThermalSweepExperiment(sim::SystemOptions opts,
 double
 ThermalSweepExperiment::dynamicPowerW(std::uint32_t threads) const
 {
-    return dynamicPowerImplW(opts_, threads);
+    return dynamicPowerImplW(opts_, threads, nullptr);
 }
 
 double
-ThermalSweepExperiment::dynamicPowerImplW(const sim::SystemOptions &opts,
-                                          std::uint32_t threads) const
+ThermalSweepExperiment::dynamicPowerImplW(
+    const sim::SystemOptions &opts, std::uint32_t threads,
+    telemetry::TelemetryRecorder *rec) const
 {
     sim::System sys(opts);
     std::vector<isa::Program> programs;
@@ -46,32 +48,54 @@ ThermalSweepExperiment::dynamicPowerImplW(const sim::SystemOptions &opts,
         programs = workloads::loadMicrobench(
             sys, workloads::Microbench::HP, cores, tpc, /*iterations=*/0);
     }
-    const auto m = sys.measure(samples_);
+    // Measure through the telemetry path: a throwaway recorder stands
+    // in when the caller does not want the series.
+    telemetry::TelemetryRecorder local;
+    telemetry::TelemetryRecorder *sink = rec ? rec : &local;
+    sys.attachTelemetry(sink);
+    sys.measure(samples_);
+    const double mean_w =
+        sink->aggregate(telemetry::schema::kMeasuredOnChipW).mean;
     // Subtract leakage at the measurement's die temperature to isolate
     // the temperature-independent dynamic component.
     const double leak =
         sys.energyModel()
             .leakagePowerW(sys.dieTempC(), sys.chipInstance().leakFactor)
             .onChipCoreAndSram();
-    return std::max(0.0, m.onChipMeanW() - leak);
+    return std::max(0.0, mean_w - leak);
 }
 
 std::vector<ThermalPoint>
 ThermalSweepExperiment::sweep(std::uint32_t threads,
-                              std::uint32_t fan_steps) const
+                              std::uint32_t fan_steps,
+                              telemetry::TelemetryRecorder *rec) const
 {
-    return sweepImpl(opts_, threads, fan_steps);
+    return sweepImpl(opts_, threads, fan_steps, rec);
 }
 
 std::vector<ThermalPoint>
 ThermalSweepExperiment::sweepImpl(const sim::SystemOptions &opts,
                                   std::uint32_t threads,
-                                  std::uint32_t fan_steps) const
+                                  std::uint32_t fan_steps,
+                                  telemetry::TelemetryRecorder *rec) const
 {
-    const double dyn_w = dynamicPowerImplW(opts, threads);
+    const double dyn_w = dynamicPowerImplW(opts, threads, rec);
     power::EnergyModel energy(opts.energyParams);
     energy.setOperatingPoint(opts.vddV, opts.vcsV);
     const chip::ChipInstance inst = chip::makeChip(opts.chipId);
+
+    namespace ts = telemetry::schema;
+    std::size_t id_p = 0, id_t = 0, id_f = 0;
+    if (rec) {
+        using telemetry::Downsample;
+        using telemetry::Unit;
+        id_p = rec->defineSeries(ts::kSweepPowerW, Unit::Watts,
+                                 Downsample::Mean);
+        id_t = rec->defineSeries(ts::kSweepPackageC, Unit::Celsius,
+                                 Downsample::Mean);
+        id_f = rec->defineSeries(ts::kSweepFan, Unit::Count,
+                                 Downsample::Mean);
+    }
 
     std::vector<ThermalPoint> out;
     for (std::uint32_t s = 0; s < fan_steps; ++s) {
@@ -98,25 +122,46 @@ ThermalSweepExperiment::sweepImpl(const sim::SystemOptions &opts,
         pt.packageTempC = tm.steadyState(p).packageC;
         pt.powerW = p;
         out.push_back(pt);
+        if (rec) {
+            const double step = static_cast<double>(s);
+            rec->record(id_p, step, 1.0, pt.powerW);
+            rec->record(id_t, step, 1.0, pt.packageTempC);
+            rec->record(id_f, step, 1.0, pt.fanEffectiveness);
+        }
     }
     return out;
 }
 
 std::vector<ThermalPoint>
-ThermalSweepExperiment::runAll() const
+ThermalSweepExperiment::runAll(telemetry::TelemetryRecorder *merged) const
 {
     const std::vector<std::uint32_t> families = {0u, 10u, 20u,
                                                  30u, 40u, 50u};
     std::vector<std::vector<ThermalPoint>> per_family(families.size());
+    // One recorder per task; merged in task-index order after the
+    // join, so the store is bit-identical at any sweepThreads value.
+    std::vector<telemetry::TelemetryRecorder> recs(
+        merged ? families.size() : 0);
     parallelFor(families.size(), opts_.sweepThreads, [&](std::size_t i) {
         sim::SystemOptions o = opts_;
         o.seed = deriveTaskSeed(opts_.seed, i);
-        per_family[i] = sweepImpl(o, families[i], /*fan_steps=*/12);
+        per_family[i] = sweepImpl(o, families[i], /*fan_steps=*/12,
+                                  merged ? &recs[i] : nullptr);
     });
 
     std::vector<ThermalPoint> out;
     for (const auto &pts : per_family)
         out.insert(out.end(), pts.begin(), pts.end());
+    if (merged) {
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            merged->setCyclesPerSample(recs[i].cyclesPerSample());
+            std::string prefix = "threads=";
+            prefix += static_cast<char>('0' + families[i] / 10);
+            prefix += static_cast<char>('0' + families[i] % 10);
+            prefix += '/';
+            merged->merge(recs[i], prefix);
+        }
+    }
     return out;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/system.hh"
+#include "telemetry/recorder.hh"
 #include "workloads/microbenchmarks.hh"
 
 namespace piton::core
@@ -44,23 +45,41 @@ class ThermalSweepExperiment
         std::uint32_t samples = 32);
 
     /** Dynamic (temperature-independent) chip power with `threads`
-     *  active threads of the HP workload. */
+     *  active threads of the HP workload.  Measured through the
+     *  telemetry path (mean of the measured.onchip_w series minus
+     *  leakage at the measurement temperature). */
     double dynamicPowerW(std::uint32_t threads) const;
 
-    /** Sweep fan effectiveness for one thread count. */
-    std::vector<ThermalPoint> sweep(std::uint32_t threads,
-                                    std::uint32_t fan_steps = 12) const;
+    /**
+     * Sweep fan effectiveness for one thread count.  When `rec` is
+     * non-null the underlying measurement's full telemetry (true +
+     * measured series) lands there, plus the sweep's own result
+     * series (sweep.power_w / sweep.package_c / sweep.fan, indexed by
+     * fan step on the time axis).
+     */
+    std::vector<ThermalPoint>
+    sweep(std::uint32_t threads, std::uint32_t fan_steps = 12,
+          telemetry::TelemetryRecorder *rec = nullptr) const;
 
-    /** The full Fig. 17 family: threads 0,10,20,30,40,50, one fan
-     *  sweep per task over opts_.sweepThreads workers. */
-    std::vector<ThermalPoint> runAll() const;
+    /**
+     * The full Fig. 17 family: threads 0,10,20,30,40,50, one fan
+     * sweep per task over opts_.sweepThreads workers.  When `merged`
+     * is non-null, each task records into its own recorder and the
+     * per-task recorders merge into `merged` in task-index order
+     * under "threads=NN/" prefixes — bit-identical at any worker
+     * count (the PR 1 sweep-engine contract).
+     */
+    std::vector<ThermalPoint>
+    runAll(telemetry::TelemetryRecorder *merged = nullptr) const;
 
   private:
     double dynamicPowerImplW(const sim::SystemOptions &opts,
-                             std::uint32_t threads) const;
-    std::vector<ThermalPoint> sweepImpl(const sim::SystemOptions &opts,
-                                        std::uint32_t threads,
-                                        std::uint32_t fan_steps) const;
+                             std::uint32_t threads,
+                             telemetry::TelemetryRecorder *rec) const;
+    std::vector<ThermalPoint>
+    sweepImpl(const sim::SystemOptions &opts, std::uint32_t threads,
+              std::uint32_t fan_steps,
+              telemetry::TelemetryRecorder *rec) const;
 
     sim::SystemOptions opts_;
     std::uint32_t samples_;

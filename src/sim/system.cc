@@ -1,11 +1,30 @@
 #include "sim/system.hh"
 
 #include <cmath>
+#include <string>
 
 #include "common/logging.hh"
+#include "telemetry/schema.hh"
 
 namespace piton::sim
 {
+
+namespace
+{
+
+/** Two-digit tile series name, e.g. "tile07.core_j". */
+std::string
+tileSeriesName(std::size_t tile)
+{
+    namespace ts = telemetry::schema;
+    std::string n = ts::kTilePrefix;
+    n += static_cast<char>('0' + tile / 10);
+    n += static_cast<char>('0' + tile % 10);
+    n += ts::kTileCoreSuffix;
+    return n;
+}
+
+} // namespace
 
 System::System(SystemOptions opts)
     : opts_(opts), instance_(chip::makeChip(opts.chipId, opts.seed)),
@@ -80,7 +99,121 @@ System::windowTruePowers(Cycle window_cycles)
 
     // Advance the thermal network: on-chip power heats the die.
     thermal_.step(p[0] + p[1], window_s);
+    if (telem_)
+        recordWindowTelemetry(window_s, p, delta, clock_w, leak_w);
+    sampleClockS_ += window_s;
     return p;
+}
+
+void
+System::attachTelemetry(telemetry::TelemetryRecorder *rec)
+{
+    telem_ = rec;
+    if (!rec)
+        return;
+    namespace ts = telemetry::schema;
+    using telemetry::Downsample;
+    using telemetry::Unit;
+    rec->setCyclesPerSample(opts_.cyclesPerSample);
+
+    tids_.vddW =
+        rec->defineSeries(ts::kPowerVddW, Unit::Watts, Downsample::Mean);
+    tids_.vcsW =
+        rec->defineSeries(ts::kPowerVcsW, Unit::Watts, Downsample::Mean);
+    tids_.vioW =
+        rec->defineSeries(ts::kPowerVioW, Unit::Watts, Downsample::Mean);
+    tids_.onChipW =
+        rec->defineSeries(ts::kPowerOnChipW, Unit::Watts, Downsample::Mean);
+    tids_.dynamicW =
+        rec->defineSeries(ts::kPowerDynamicW, Unit::Watts, Downsample::Mean);
+    tids_.clockW =
+        rec->defineSeries(ts::kPowerClockW, Unit::Watts, Downsample::Mean);
+    tids_.leakW =
+        rec->defineSeries(ts::kPowerLeakW, Unit::Watts, Downsample::Mean);
+    tids_.activeJ =
+        rec->defineSeries(ts::kEnergyActiveJ, Unit::Joules, Downsample::Sum);
+    for (std::size_t i = 0; i < power::kNumCategories; ++i) {
+        const auto c = static_cast<power::Category>(i);
+        tids_.catJ[i] = rec->defineSeries(
+            std::string(ts::kEnergyCategoryPrefix) + power::categoryName(c)
+                + "_j",
+            Unit::Joules, Downsample::Sum);
+        prevCatJ_[i] = chip_->ledger().category(c);
+    }
+    tids_.nocFlits =
+        rec->defineSeries(ts::kNocFlits, Unit::Count, Downsample::Sum);
+    tids_.nocFlitHops =
+        rec->defineSeries(ts::kNocFlitHops, Unit::Count, Downsample::Sum);
+    tids_.nocToggledBits =
+        rec->defineSeries(ts::kNocToggledBits, Unit::Count, Downsample::Sum);
+    tids_.nocFlitsPerS =
+        rec->defineSeries(ts::kNocFlitsPerS, Unit::Hertz, Downsample::Mean);
+    tids_.dieC =
+        rec->defineSeries(ts::kThermalDieC, Unit::Celsius, Downsample::Mean);
+    tids_.packageC = rec->defineSeries(ts::kThermalPackageC, Unit::Celsius,
+                                       Downsample::Mean);
+    tids_.insts = rec->defineSeries(ts::kChipInsts, Unit::Count,
+                                    Downsample::Sum);
+    tids_.activeThreads = rec->defineSeries(ts::kChipActiveThreads,
+                                            Unit::Count, Downsample::Mean);
+    tids_.tileJ.clear();
+    prevTileJ_.clear();
+    if (rec->config().perTile) {
+        prevTileJ_ = chip_->tileCoreEnergyJ();
+        for (std::size_t t = 0; t < prevTileJ_.size(); ++t)
+            tids_.tileJ.push_back(rec->defineSeries(
+                tileSeriesName(t), Unit::Joules, Downsample::Sum));
+    }
+    prevNoc_ = chip_->memSystem().noc().stats();
+    prevInsts_ = chip_->totalInsts();
+}
+
+void
+System::recordWindowTelemetry(double window_s,
+                              const std::array<double, 3> &true_p,
+                              const power::RailEnergy &delta,
+                              const power::RailEnergy &clock_w,
+                              const power::RailEnergy &leak_w)
+{
+    const double t = sampleClockS_;
+    const auto rec = [&](std::size_t id, double v) {
+        telem_->record(id, t, window_s, v);
+    };
+    rec(tids_.vddW, true_p[0]);
+    rec(tids_.vcsW, true_p[1]);
+    rec(tids_.vioW, true_p[2]);
+    rec(tids_.onChipW, true_p[0] + true_p[1]);
+    rec(tids_.dynamicW, delta.onChipCoreAndSram() / window_s);
+    rec(tids_.clockW, clock_w.onChipCoreAndSram());
+    rec(tids_.leakW, leak_w.onChipCoreAndSram());
+    rec(tids_.activeJ, delta.onChipCoreAndSram());
+    for (std::size_t i = 0; i < power::kNumCategories; ++i) {
+        const power::RailEnergy cur =
+            chip_->ledger().category(static_cast<power::Category>(i));
+        rec(tids_.catJ[i], (cur - prevCatJ_[i]).onChipCoreAndSram());
+        prevCatJ_[i] = cur;
+    }
+    const arch::NocStats noc_now = chip_->memSystem().noc().stats();
+    const arch::NocStats d = noc_now.delta(prevNoc_);
+    prevNoc_ = noc_now;
+    rec(tids_.nocFlits, static_cast<double>(d.flits));
+    rec(tids_.nocFlitHops, static_cast<double>(d.flitHops));
+    rec(tids_.nocToggledBits, static_cast<double>(d.toggledBits));
+    rec(tids_.nocFlitsPerS, static_cast<double>(d.flits) / window_s);
+    rec(tids_.dieC, thermal_.dieTempC());
+    rec(tids_.packageC, thermal_.packageTempC());
+    const std::uint64_t insts_now = chip_->totalInsts();
+    rec(tids_.insts, static_cast<double>(insts_now - prevInsts_));
+    prevInsts_ = insts_now;
+    rec(tids_.activeThreads,
+        static_cast<double>(chip_->activeThreads()));
+    if (!tids_.tileJ.empty()) {
+        const std::vector<double> tile_now = chip_->tileCoreEnergyJ();
+        for (std::size_t i = 0; i < tids_.tileJ.size(); ++i) {
+            rec(tids_.tileJ[i], tile_now[i] - prevTileJ_[i]);
+            prevTileJ_[i] = tile_now[i];
+        }
+    }
 }
 
 board::PowerMeasurement
@@ -107,9 +240,10 @@ System::measure(std::uint32_t samples)
     }
     thermal_.setState(thermal_.steadyState(warm_power));
 
-    return board::collectMeasurement(board_, samples, [this, chunk] {
-        return windowTruePowers(chunk);
-    });
+    return board::collectMeasurement(
+        board_, samples,
+        [this, chunk] { return windowTruePowers(chunk); }, telem_,
+        sampleClockS_, static_cast<double>(chunk) / coreClockHz());
 }
 
 board::PowerMeasurement
@@ -130,12 +264,22 @@ System::measureStatic(std::uint32_t samples)
     }
     const power::RailEnergy l =
         energy_.leakagePowerW(temp, instance_.leakFactor);
-    return board::collectMeasurement(
-        board_, samples, [&l] {
+    // The chip is not advancing, but the monitors still tick at the
+    // sample cadence: space the measured samples on the sample clock
+    // and advance it past the collection interval.
+    const double dt_s =
+        static_cast<double>(opts_.cyclesPerSample) / coreClockHz();
+    const board::PowerMeasurement m = board::collectMeasurement(
+        board_, samples,
+        [&l] {
             return std::array<double, 3>{l.get(power::Rail::Vdd),
                                          l.get(power::Rail::Vcs),
                                          l.get(power::Rail::Vio)};
-        });
+        },
+        telem_, sampleClockS_, dt_s);
+    if (telem_)
+        sampleClockS_ += static_cast<double>(samples) * dt_s;
+    return m;
 }
 
 CompletionResult
@@ -174,10 +318,11 @@ System::runToCompletion(Cycle max_cycles)
         }
         no_progress = 0;
         const double dt = static_cast<double>(elapsed) / coreClockHz();
-        const double clock_w = clockTreePowerW().onChipCoreAndSram();
-        const double leak_w =
-            energy_.leakagePowerW(thermal_.dieTempC(), instance_.leakFactor)
-                .onChipCoreAndSram();
+        const power::RailEnergy clock_re = clockTreePowerW();
+        const power::RailEnergy leak_re =
+            energy_.leakagePowerW(thermal_.dieTempC(), instance_.leakFactor);
+        const double clock_w = clock_re.onChipCoreAndSram();
+        const double leak_w = leak_re.onChipCoreAndSram();
         idle_energy_j += (clock_w + leak_w) * dt;
         const power::RailEnergy chunk_delta =
             chip_->ledger().total() - prev_chunk;
@@ -185,6 +330,16 @@ System::runToCompletion(Cycle max_cycles)
         thermal_.step(clock_w + leak_w
                           + chunk_delta.onChipCoreAndSram() / dt,
                       dt);
+        if (telem_) {
+            std::array<double, 3> p{};
+            for (std::size_t r = 0; r < power::kNumRails; ++r) {
+                const auto rail = static_cast<power::Rail>(r);
+                p[r] = chunk_delta.get(rail) / dt + clock_re.get(rail)
+                       + leak_re.get(rail);
+            }
+            recordWindowTelemetry(dt, p, chunk_delta, clock_re, leak_re);
+        }
+        sampleClockS_ += dt;
         if (r.allHalted) {
             res.completed = true;
             break;

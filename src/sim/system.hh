@@ -26,6 +26,7 @@
 #include "chip/chip_instance.hh"
 #include "config/piton_params.hh"
 #include "power/energy_model.hh"
+#include "telemetry/recorder.hh"
 #include "thermal/thermal_model.hh"
 
 namespace piton::sim
@@ -118,9 +119,36 @@ class System
     /** Die temperature right now. */
     double dieTempC() const { return thermal_.dieTempC(); }
 
+    /**
+     * Attach a telemetry recorder: every subsequent sample window
+     * (windowTruePowers, measure, runToCompletion chunks) records the
+     * schema of telemetry/schema.hh — true per-rail powers, the
+     * static/dynamic decomposition, per-category ledger deltas, NoC
+     * counters, thermal readout, and (if the recorder's config asks
+     * for it) per-tile core energies.  The monitor chain additionally
+     * records the measured.* series during measure()/measureStatic().
+     * Counter baselines snapshot at attach time, so deltas cover only
+     * post-attach activity.  Pass nullptr to detach.
+     */
+    void attachTelemetry(telemetry::TelemetryRecorder *rec);
+    telemetry::TelemetryRecorder *telemetry() const { return telem_; }
+
+    /** Monotone sample-clock: seconds of sample windows recorded so
+     *  far (the telemetry time axis; advances even when the chip has
+     *  halted, like the board's 17 Hz monitors do). */
+    double sampleClockS() const { return sampleClockS_; }
+
   private:
     /** Clock-tree power (W) per rail at the operating point. */
     power::RailEnergy clockTreePowerW() const;
+
+    /** Record one sample window into the attached recorder (called
+     *  after the thermal step; does not advance the sample clock). */
+    void recordWindowTelemetry(double window_s,
+                               const std::array<double, 3> &true_p,
+                               const power::RailEnergy &delta,
+                               const power::RailEnergy &clock_w,
+                               const power::RailEnergy &leak_w);
 
     SystemOptions opts_;
     chip::ChipInstance instance_;
@@ -129,6 +157,26 @@ class System
     board::TestBoard board_;
     thermal::ThermalModel thermal_;
     power::RailEnergy prevLedger_;
+
+    telemetry::TelemetryRecorder *telem_ = nullptr;
+    double sampleClockS_ = 0.0;
+    /** Series indices into telem_, resolved once at attach. */
+    struct TelemetryIds
+    {
+        std::size_t vddW, vcsW, vioW, onChipW;
+        std::size_t dynamicW, clockW, leakW;
+        std::size_t activeJ;
+        std::array<std::size_t, power::kNumCategories> catJ;
+        std::size_t nocFlits, nocFlitHops, nocToggledBits, nocFlitsPerS;
+        std::size_t dieC, packageC;
+        std::size_t insts, activeThreads;
+        std::vector<std::size_t> tileJ; ///< empty unless perTile
+    } tids_{};
+    /** Counter baselines for per-window deltas. */
+    std::array<power::RailEnergy, power::kNumCategories> prevCatJ_{};
+    arch::NocStats prevNoc_{};
+    std::uint64_t prevInsts_ = 0;
+    std::vector<double> prevTileJ_;
 };
 
 } // namespace piton::sim

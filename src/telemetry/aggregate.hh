@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Aggregation layer over telemetry series: summary statistics
+ * (min/max/mean/stddev/percentiles), time integrals, windowed rates,
+ * and the static-vs-dynamic power decomposition the paper reports for
+ * every rail measurement.
+ *
+ * The mean/stddev reduction replays RunningStats' Welford update in the
+ * same sample order, so an aggregate over a measured telemetry series
+ * is bit-identical to the PowerMeasurement statistics computed from the
+ * same monitor samples (this is what lets the power-cap study switch to
+ * the telemetry path without perturbing its results).
+ */
+
+#ifndef PITON_TELEMETRY_AGGREGATE_HH
+#define PITON_TELEMETRY_AGGREGATE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/series.hh"
+
+namespace piton::telemetry
+{
+
+struct Aggregate
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    /** Population standard deviation (the paper's ± convention). */
+    double stddev = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Summary statistics over the points' values (sample order). */
+Aggregate aggregatePoints(const std::vector<SamplePoint> &pts);
+
+/** Nearest-rank percentile of the values; q in [0, 100]. */
+double percentileOf(std::vector<double> values, double q);
+
+/** Time integral sum(value * dt) — watts in, joules out. */
+double integratePoints(const std::vector<SamplePoint> &pts);
+
+/** Plain sum of the values (delta/count series). */
+double sumPoints(const std::vector<SamplePoint> &pts);
+
+/** Per-point windowed rate value/dt (count deltas in, Hz out). */
+std::vector<double> windowedRates(const std::vector<SamplePoint> &pts);
+
+/** Static (leakage) vs dynamic energy split of an on-chip power series
+ *  against its leakage series, both integrated over the same windows. */
+struct EnergySplit
+{
+    double staticJ = 0.0;  ///< integral of the leakage series
+    double dynamicJ = 0.0; ///< total minus static
+    double totalJ = 0.0;   ///< integral of the on-chip power series
+};
+
+EnergySplit decomposeStaticDynamic(const std::vector<SamplePoint> &onchip,
+                                   const std::vector<SamplePoint> &leak);
+
+} // namespace piton::telemetry
+
+#endif // PITON_TELEMETRY_AGGREGATE_HH

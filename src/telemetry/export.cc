@@ -1,0 +1,223 @@
+#include "telemetry/export.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace piton::telemetry
+{
+
+namespace
+{
+
+/** Shortest decimal that round-trips the double exactly. */
+std::string
+fmtExact(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+double
+parseDouble(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    piton_assert(end != s.c_str() && *end == '\0',
+                 "bad numeric field '%s' in telemetry file", s.c_str());
+    return v;
+}
+
+/** Series names must stay plain so the long format needs no quoting. */
+void
+checkName(const std::string &name)
+{
+    piton_assert(name.find_first_of(",\"\n") == std::string::npos,
+                 "series name '%s' contains CSV metacharacters",
+                 name.c_str());
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string &line, std::size_t expect)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(line.substr(start));
+            break;
+        }
+        out.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+    piton_assert(out.size() == expect,
+                 "telemetry CSV row has %zu fields, expected %zu",
+                 out.size(), expect);
+    return out;
+}
+
+ParsedSeries &
+seriesSlot(std::vector<ParsedSeries> &all, const std::string &name)
+{
+    for (auto &s : all)
+        if (s.name == name)
+            return s;
+    all.emplace_back();
+    all.back().name = name;
+    return all.back();
+}
+
+/** Extract the value of `"key":` in a JSON object we wrote ourselves.
+ *  Returns the raw token (string values without their quotes). */
+std::string
+jsonField(const std::string &line, const std::string &key)
+{
+    const std::string pat = "\"" + key + "\":";
+    const std::size_t at = line.find(pat);
+    piton_assert(at != std::string::npos,
+                 "telemetry JSONL line missing key '%s'", key.c_str());
+    std::size_t start = at + pat.size();
+    std::size_t end;
+    if (line[start] == '"') {
+        ++start;
+        end = line.find('"', start);
+    } else {
+        end = line.find_first_of(",}", start);
+    }
+    piton_assert(end != std::string::npos, "unterminated JSONL field");
+    return line.substr(start, end - start);
+}
+
+} // namespace
+
+void
+writeCsv(std::ostream &os, const TelemetryRecorder &rec)
+{
+    os << "series,unit,downsample,stride,t_s,dt_s,value\n";
+    for (const SeriesRing &s : rec.allSeries()) {
+        checkName(s.name());
+        const std::string head = s.name() + ','
+                                 + unitName(s.unit()) + ','
+                                 + downsampleName(s.downsample()) + ','
+                                 + std::to_string(s.stride()) + ',';
+        for (const SamplePoint &p : s.snapshot())
+            os << head << fmtExact(p.tS) << ',' << fmtExact(p.dtS) << ','
+               << fmtExact(p.value) << '\n';
+    }
+}
+
+void
+writeJsonl(std::ostream &os, const TelemetryRecorder &rec)
+{
+    os << "{\"type\":\"meta\",\"cycles_per_sample\":"
+       << rec.cyclesPerSample() << ",\"series\":[";
+    bool first = true;
+    for (const SeriesRing &s : rec.allSeries()) {
+        checkName(s.name());
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << s.name() << "\",\"unit\":\""
+           << unitName(s.unit()) << "\",\"downsample\":\""
+           << downsampleName(s.downsample()) << "\",\"stride\":"
+           << s.stride() << '}';
+    }
+    os << "]}\n";
+    for (const SeriesRing &s : rec.allSeries()) {
+        for (const SamplePoint &p : s.snapshot())
+            os << "{\"s\":\"" << s.name() << "\",\"t\":" << fmtExact(p.tS)
+               << ",\"dt\":" << fmtExact(p.dtS)
+               << ",\"v\":" << fmtExact(p.value) << "}\n";
+    }
+}
+
+std::vector<ParsedSeries>
+readCsv(std::istream &is)
+{
+    std::vector<ParsedSeries> out;
+    std::string line;
+    piton_assert(static_cast<bool>(std::getline(is, line))
+                     && line == "series,unit,downsample,stride,t_s,dt_s,value",
+                 "not a telemetry CSV file");
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const auto f = splitCsvLine(line, 7);
+        ParsedSeries &s = seriesSlot(out, f[0]);
+        if (s.points.empty()) {
+            s.unit = f[1];
+            s.downsample = f[2];
+            s.stride = static_cast<std::uint32_t>(
+                std::strtoul(f[3].c_str(), nullptr, 10));
+        }
+        SamplePoint p;
+        p.tS = parseDouble(f[4]);
+        p.dtS = parseDouble(f[5]);
+        p.value = parseDouble(f[6]);
+        s.points.push_back(p);
+    }
+    return out;
+}
+
+std::vector<ParsedSeries>
+readJsonl(std::istream &is)
+{
+    std::vector<ParsedSeries> out;
+    std::string line;
+    piton_assert(static_cast<bool>(std::getline(is, line))
+                     && line.find("\"type\":\"meta\"") != std::string::npos,
+                 "not a telemetry JSONL file");
+    // Meta: one {"name":...} entry per series, in definition order.
+    std::size_t at = 0;
+    while ((at = line.find("{\"name\":", at)) != std::string::npos) {
+        const std::size_t end = line.find('}', at);
+        const std::string obj = line.substr(at, end - at + 1);
+        ParsedSeries s;
+        s.name = jsonField(obj, "name");
+        s.unit = jsonField(obj, "unit");
+        s.downsample = jsonField(obj, "downsample");
+        s.stride = static_cast<std::uint32_t>(
+            std::strtoul(jsonField(obj, "stride").c_str(), nullptr, 10));
+        out.push_back(std::move(s));
+        at = end;
+    }
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        ParsedSeries &s = seriesSlot(out, jsonField(line, "s"));
+        SamplePoint p;
+        p.tS = parseDouble(jsonField(line, "t"));
+        p.dtS = parseDouble(jsonField(line, "dt"));
+        p.value = parseDouble(jsonField(line, "v"));
+        s.points.push_back(p);
+    }
+    return out;
+}
+
+void
+exportTelemetry(const std::filesystem::path &dir, const std::string &stem,
+                const TelemetryRecorder &rec)
+{
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream csv(dir / (stem + ".csv"));
+        piton_assert(csv.good(), "cannot open %s for writing",
+                     (dir / (stem + ".csv")).string().c_str());
+        writeCsv(csv, rec);
+    }
+    {
+        std::ofstream jsonl(dir / (stem + ".jsonl"));
+        piton_assert(jsonl.good(), "cannot open %s for writing",
+                     (dir / (stem + ".jsonl")).string().c_str());
+        writeJsonl(jsonl, rec);
+    }
+}
+
+} // namespace piton::telemetry

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Telemetry exporters: CSV and JSON-lines writers in the same
+ * long/tidy format (one record per stored sample point), compatible
+ * with the open-data release style of examples/export_open_data, plus
+ * the matching parsers used to validate round-trips.
+ *
+ * Values are printed with %.17g so a parsed-back series is bit
+ * identical to the recorded one (tests/test_telemetry.cc asserts it).
+ */
+
+#ifndef PITON_TELEMETRY_EXPORT_HH
+#define PITON_TELEMETRY_EXPORT_HH
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/recorder.hh"
+
+namespace piton::telemetry
+{
+
+/** Columns: series,unit,downsample,stride,t_s,dt_s,value. */
+void writeCsv(std::ostream &os, const TelemetryRecorder &rec);
+
+/** One meta line, then one JSON object per stored sample point. */
+void writeJsonl(std::ostream &os, const TelemetryRecorder &rec);
+
+/** A series as parsed back from an export. */
+struct ParsedSeries
+{
+    std::string name;
+    std::string unit;
+    std::string downsample;
+    std::uint32_t stride = 1;
+    std::vector<SamplePoint> points;
+};
+
+/** Parse our own CSV/JSONL output (not a general-purpose parser). */
+std::vector<ParsedSeries> readCsv(std::istream &is);
+std::vector<ParsedSeries> readJsonl(std::istream &is);
+
+/** Write <dir>/<stem>.csv and <dir>/<stem>.jsonl (creates dir). */
+void exportTelemetry(const std::filesystem::path &dir,
+                     const std::string &stem,
+                     const TelemetryRecorder &rec);
+
+} // namespace piton::telemetry
+
+#endif // PITON_TELEMETRY_EXPORT_HH

@@ -1,0 +1,90 @@
+#include "telemetry/recorder.hh"
+
+#include "common/logging.hh"
+
+namespace piton::telemetry
+{
+
+TelemetryRecorder::TelemetryRecorder(RecorderConfig cfg) : cfg_(cfg)
+{
+    piton_assert(cfg_.capacity >= 2 && cfg_.capacity % 2 == 0,
+                 "recorder capacity %zu must be even and >= 2",
+                 cfg_.capacity);
+}
+
+std::size_t
+TelemetryRecorder::defineSeries(const std::string &name, Unit unit,
+                                Downsample downsample)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        const SeriesRing &s = series_[it->second];
+        piton_assert(s.unit() == unit && s.downsample() == downsample,
+                     "series '%s' redefined with a different schema",
+                     name.c_str());
+        return it->second;
+    }
+    series_.emplace_back(name, unit, downsample, cfg_.capacity);
+    index_.emplace(name, series_.size() - 1);
+    return series_.size() - 1;
+}
+
+const SeriesRing *
+TelemetryRecorder::find(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &series_[it->second];
+}
+
+void
+TelemetryRecorder::record(std::size_t idx, double t_s, double dt_s,
+                          double value)
+{
+    piton_assert(idx < series_.size(), "series index %zu out of range",
+                 idx);
+    series_[idx].push(t_s, dt_s, value);
+}
+
+const SeriesRing &
+TelemetryRecorder::lookup(const std::string &name) const
+{
+    const SeriesRing *s = find(name);
+    piton_assert(s != nullptr, "no telemetry series named '%s'",
+                 name.c_str());
+    return *s;
+}
+
+Aggregate
+TelemetryRecorder::aggregate(const std::string &name) const
+{
+    return aggregatePoints(lookup(name).snapshot());
+}
+
+double
+TelemetryRecorder::integrate(const std::string &name) const
+{
+    return integratePoints(lookup(name).snapshot());
+}
+
+double
+TelemetryRecorder::sum(const std::string &name) const
+{
+    return sumPoints(lookup(name).snapshot());
+}
+
+void
+TelemetryRecorder::merge(const TelemetryRecorder &other,
+                         const std::string &prefix)
+{
+    for (const SeriesRing &s : other.allSeries()) {
+        const std::string name = prefix + s.name();
+        piton_assert(index_.find(name) == index_.end(),
+                     "merge collision on series '%s'", name.c_str());
+        series_.emplace_back(s, name);
+        index_.emplace(name, series_.size() - 1);
+    }
+    if (cyclesPerSample_ == 0)
+        cyclesPerSample_ = other.cyclesPerSample_;
+}
+
+} // namespace piton::telemetry

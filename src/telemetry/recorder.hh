@@ -1,0 +1,102 @@
+/**
+ * @file
+ * TelemetryRecorder: the sampling sink a running sim::System (or any
+ * other producer — the monitor chain, the experiment drivers) records
+ * typed time series into, plus the in-memory query API the experiment
+ * drivers consume directly.
+ *
+ * Determinism contract (shared with common/parallel.hh): a recorder is
+ * single-threaded state.  Parallel sweeps give every task its own
+ * recorder seeded/configured identically, then merge the per-task
+ * recorders in task-index order after the join; the merged store is
+ * therefore bit-identical at any thread count.
+ */
+
+#ifndef PITON_TELEMETRY_RECORDER_HH
+#define PITON_TELEMETRY_RECORDER_HH
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "telemetry/aggregate.hh"
+#include "telemetry/series.hh"
+
+namespace piton::telemetry
+{
+
+struct RecorderConfig
+{
+    /** Per-series ring capacity (even, >= 2).  A run longer than this
+     *  many sample windows downsamples pairwise (see SeriesRing). */
+    std::size_t capacity = 4096;
+
+    /** Record the 25 per-tile core-energy series (tileNN.core_j).
+     *  Off by default: sweeps that only need chip-level series skip
+     *  the extra memory and recording work. */
+    bool perTile = false;
+};
+
+class TelemetryRecorder
+{
+  public:
+    explicit TelemetryRecorder(RecorderConfig cfg = {});
+
+    const RecorderConfig &config() const { return cfg_; }
+
+    /** Sample cadence in simulated cycles (exported as metadata; set
+     *  by the producer, e.g. System::attachTelemetry). */
+    Cycle cyclesPerSample() const { return cyclesPerSample_; }
+    void setCyclesPerSample(Cycle c) { cyclesPerSample_ = c; }
+
+    /**
+     * Define (or look up) a series; returns its stable index.  Calling
+     * again with the same name returns the existing index and asserts
+     * the unit/downsample policy match — one schema per name.
+     */
+    std::size_t defineSeries(const std::string &name, Unit unit,
+                             Downsample downsample);
+
+    std::size_t seriesCount() const { return series_.size(); }
+    const SeriesRing &series(std::size_t idx) const { return series_[idx]; }
+    /** All series in definition order (deterministic iteration). */
+    const std::vector<SeriesRing> &allSeries() const { return series_; }
+
+    /** nullptr when no series has that name. */
+    const SeriesRing *find(const std::string &name) const;
+
+    /** Record one sample into series `idx` (from defineSeries). */
+    void record(std::size_t idx, double t_s, double dt_s, double value);
+
+    // ---- query API ---------------------------------------------------
+
+    /** Summary statistics of a series' snapshot (asserts it exists). */
+    Aggregate aggregate(const std::string &name) const;
+    /** sum(value * dt): integrate a power series to joules. */
+    double integrate(const std::string &name) const;
+    /** sum(value): total of a delta/count series. */
+    double sum(const std::string &name) const;
+
+    /**
+     * Absorb every series of `other` under `prefix` (e.g. "task3/").
+     * Ring state (stride, pending partial) is copied verbatim, so a
+     * merged store round-trips through the exporters identically to
+     * the per-task recorders.  Asserts on name collisions.
+     */
+    void merge(const TelemetryRecorder &other,
+               const std::string &prefix = "");
+
+  private:
+    const SeriesRing &lookup(const std::string &name) const;
+
+    RecorderConfig cfg_;
+    Cycle cyclesPerSample_ = 0;
+    std::vector<SeriesRing> series_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace piton::telemetry
+
+#endif // PITON_TELEMETRY_RECORDER_HH

@@ -1,0 +1,135 @@
+#include "telemetry/series.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace piton::telemetry
+{
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::Watts: return "W";
+      case Unit::Joules: return "J";
+      case Unit::Celsius: return "C";
+      case Unit::Count: return "count";
+      case Unit::Hertz: return "Hz";
+      case Unit::Seconds: return "s";
+      default:
+        piton_panic("bad Unit");
+    }
+}
+
+const char *
+downsampleName(Downsample d)
+{
+    switch (d) {
+      case Downsample::Mean: return "mean";
+      case Downsample::Sum: return "sum";
+      default:
+        piton_panic("bad Downsample");
+    }
+}
+
+SeriesRing::SeriesRing(std::string name, Unit unit, Downsample downsample,
+                       std::size_t capacity)
+    : name_(std::move(name)), unit_(unit), downsample_(downsample),
+      capacity_(capacity)
+{
+    piton_assert(capacity_ >= 2 && capacity_ % 2 == 0,
+                 "series '%s': ring capacity %zu must be even and >= 2",
+                 name_.c_str(), capacity_);
+    points_.reserve(capacity_);
+}
+
+SeriesRing::SeriesRing(const SeriesRing &src, std::string new_name)
+    : SeriesRing(src)
+{
+    name_ = std::move(new_name);
+}
+
+namespace
+{
+
+/** Merge two stored points under the series' downsample policy. */
+SamplePoint
+mergePair(const SamplePoint &a, const SamplePoint &b, Downsample ds)
+{
+    SamplePoint out;
+    out.tS = a.tS; // merged point covers [a.t, b.t + b.dt)
+    out.dtS = a.dtS + b.dtS;
+    if (ds == Downsample::Mean)
+        out.value = (a.value * a.dtS + b.value * b.dtS) / out.dtS;
+    else
+        out.value = a.value + b.value;
+    return out;
+}
+
+} // namespace
+
+void
+SeriesRing::push(double t_s, double dt_s, double value)
+{
+    piton_assert(std::isfinite(value),
+                 "series '%s': non-finite sample", name_.c_str());
+    piton_assert(dt_s > 0.0 && std::isfinite(dt_s) && std::isfinite(t_s),
+                 "series '%s': bad sample window", name_.c_str());
+
+    ++pushes_;
+    if (pendingCount_ == 0) {
+        pendingT_ = t_s;
+        pendingDt_ = 0.0;
+        pendingWeighted_ = 0.0;
+    }
+    ++pendingCount_;
+    pendingDt_ += dt_s;
+    pendingWeighted_ +=
+        downsample_ == Downsample::Mean ? value * dt_s : value;
+
+    if (pendingCount_ < stride_)
+        return;
+    points_.push_back(mergedPending());
+    pendingCount_ = 0;
+    if (points_.size() == capacity_)
+        compact();
+}
+
+SamplePoint
+SeriesRing::mergedPending() const
+{
+    SamplePoint p;
+    p.tS = pendingT_;
+    p.dtS = pendingDt_;
+    p.value = downsample_ == Downsample::Mean
+                  ? pendingWeighted_ / pendingDt_
+                  : pendingWeighted_;
+    return p;
+}
+
+void
+SeriesRing::compact()
+{
+    // Pairwise merge: the committed count is even (== capacity) and the
+    // pending accumulator is empty, so the halved series covers exactly
+    // the same time span at twice the stride.
+    piton_assert(pendingCount_ == 0, "compact with a pending point");
+    const std::size_t half = points_.size() / 2;
+    for (std::size_t i = 0; i < half; ++i)
+        points_[i] =
+            mergePair(points_[2 * i], points_[2 * i + 1], downsample_);
+    points_.resize(half);
+    stride_ *= 2;
+}
+
+std::vector<SamplePoint>
+SeriesRing::snapshot() const
+{
+    std::vector<SamplePoint> out = points_;
+    if (pendingCount_ > 0)
+        out.push_back(mergedPending());
+    return out;
+}
+
+} // namespace piton::telemetry

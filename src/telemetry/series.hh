@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Typed telemetry time series over a fixed-capacity ring buffer.
+ *
+ * Each series stores (t, dt, value) sample points produced once per
+ * monitor window (the modelled 17 Hz cadence, see sim::SystemOptions::
+ * cyclesPerSample).  When a run outlives the ring capacity the series
+ * downsamples itself in place: adjacent pairs merge (dt-weighted mean
+ * for gauges, sum for per-window deltas), the effective stride doubles,
+ * and subsequent pushes accumulate `stride` raw windows into one stored
+ * point.  Integrals (sum of value*dt for gauges, sum of value for
+ * deltas) are preserved by construction, so downsampled series stay
+ * consistent with the energy ledger up to floating-point rounding.
+ */
+
+#ifndef PITON_TELEMETRY_SERIES_HH
+#define PITON_TELEMETRY_SERIES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace piton::telemetry
+{
+
+/** Physical unit of a series' sample values. */
+enum class Unit : std::uint8_t
+{
+    Watts,
+    Joules,
+    Celsius,
+    Count,
+    Hertz,
+    Seconds,
+};
+
+const char *unitName(Unit u);
+
+/** How adjacent samples merge when the ring downsamples. */
+enum class Downsample : std::uint8_t
+{
+    Mean, ///< dt-weighted mean: gauges (power, temperature, rates)
+    Sum,  ///< plain sum: per-window deltas (energy, event counts)
+};
+
+const char *downsampleName(Downsample d);
+
+/** One stored point: window start time, window length, value. */
+struct SamplePoint
+{
+    double tS = 0.0;
+    double dtS = 0.0;
+    double value = 0.0;
+};
+
+class SeriesRing
+{
+  public:
+    /** `capacity` must be even and >= 2 (pairwise compaction). */
+    SeriesRing(std::string name, Unit unit, Downsample downsample,
+               std::size_t capacity);
+
+    /** Copy an existing ring under a new name (recorder merging). */
+    SeriesRing(const SeriesRing &src, std::string new_name);
+
+    const std::string &name() const { return name_; }
+    Unit unit() const { return unit_; }
+    Downsample downsample() const { return downsample_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Raw windows merged into one stored point (power of two). */
+    std::uint32_t stride() const { return stride_; }
+    /** Raw samples ever pushed. */
+    std::uint64_t pushes() const { return pushes_; }
+
+    /** Append one raw sample; rejects non-finite values and dt <= 0. */
+    void push(double t_s, double dt_s, double value);
+
+    /** Committed points (excludes a partially-filled pending point). */
+    std::size_t size() const { return points_.size(); }
+    const SamplePoint &at(std::size_t i) const { return points_[i]; }
+
+    /** Committed points plus the pending partial point, if any.  This
+     *  is the exportable view: it covers every pushed sample. */
+    std::vector<SamplePoint> snapshot() const;
+
+  private:
+    /** Merge adjacent pairs in place; doubles the stride. */
+    void compact();
+    SamplePoint mergedPending() const;
+
+    std::string name_;
+    Unit unit_;
+    Downsample downsample_;
+    std::size_t capacity_;
+    std::uint32_t stride_ = 1;
+    std::uint64_t pushes_ = 0;
+    std::vector<SamplePoint> points_;
+
+    // Accumulator for the in-progress stored point (stride_ > 1).
+    std::uint32_t pendingCount_ = 0;
+    double pendingT_ = 0.0;
+    double pendingDt_ = 0.0;
+    double pendingWeighted_ = 0.0; ///< sum(v*dt) for Mean, sum(v) for Sum
+};
+
+} // namespace piton::telemetry
+
+#endif // PITON_TELEMETRY_SERIES_HH

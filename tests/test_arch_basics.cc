@@ -317,6 +317,47 @@ TEST_F(NocTest, ResetStatsCanPreserveLinkState)
     EXPECT_GT(preserved, fresh.send(probe).energyJ);
 }
 
+TEST_F(NocTest, ResetStatsCoversEveryCounter)
+{
+    // Guard test for the NocStats member list (see the static_assert
+    // in noc.hh): exercise every counter, then verify delta() and
+    // resetStats() cover each one.  A counter this test does not
+    // exercise cannot be certified, so adding a member means
+    // extending this test.
+    Packet p;
+    p.src = 0;
+    p.dst = 6; // 2 hops + a turn
+    p.flits = {~0ULL, 0ULL, ~0ULL};
+    noc_.send(p);
+    const NocStats before = noc_.stats();
+    EXPECT_GT(before.packets, 0u);
+    EXPECT_GT(before.flits, 0u);
+    EXPECT_GT(before.flitHops, 0u);
+    EXPECT_GT(before.toggledBits, 0u);
+
+    // delta() against a snapshot isolates exactly the new traffic.
+    noc_.send(p);
+    const NocStats d = noc_.stats().delta(before);
+    EXPECT_EQ(d.packets, 1u);
+    EXPECT_EQ(d.flits, 3u);
+    EXPECT_EQ(d.flitHops, 3u * (2u + 1u));
+    EXPECT_GT(d.toggledBits, 0u);
+    // Self-delta is all zeros on every member.
+    const NocStats z = before.delta(before);
+    EXPECT_EQ(z.packets, 0u);
+    EXPECT_EQ(z.flits, 0u);
+    EXPECT_EQ(z.flitHops, 0u);
+    EXPECT_EQ(z.toggledBits, 0u);
+
+    // resetStats() zeroes every member.
+    noc_.resetStats();
+    const NocStats after = noc_.stats();
+    EXPECT_EQ(after.packets, 0u);
+    EXPECT_EQ(after.flits, 0u);
+    EXPECT_EQ(after.flitHops, 0u);
+    EXPECT_EQ(after.toggledBits, 0u);
+}
+
 TEST(HeaderFlit, EncodesFields)
 {
     const RegVal h = makeHeaderFlit(24, 3, 6, 9);

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: ring-buffer downsampling, the
+ * recorder/aggregation layer, CSV/JSONL round-trips, sample-window
+ * alignment against sim::System, ledger agreement, and the parallel
+ * determinism contract.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/app_experiments.hh"
+#include "core/thermal_experiments.hh"
+#include "power/energy_model.hh"
+#include "sim/system.hh"
+#include "telemetry/export.hh"
+#include "telemetry/recorder.hh"
+#include "telemetry/schema.hh"
+#include "telemetry/series.hh"
+#include "workloads/microbenchmarks.hh"
+
+namespace piton
+{
+namespace
+{
+
+namespace ts = telemetry::schema;
+using telemetry::Downsample;
+using telemetry::SamplePoint;
+using telemetry::SeriesRing;
+using telemetry::TelemetryRecorder;
+using telemetry::Unit;
+
+// ---- ring buffer ------------------------------------------------------
+
+TEST(SeriesRing, StoresRawPointsBelowCapacity)
+{
+    SeriesRing r("p", Unit::Watts, Downsample::Mean, 8);
+    for (int i = 0; i < 5; ++i)
+        r.push(i * 0.5, 0.5, 1.0 + i);
+    EXPECT_EQ(r.size(), 5u);
+    EXPECT_EQ(r.stride(), 1u);
+    EXPECT_EQ(r.pushes(), 5u);
+    EXPECT_DOUBLE_EQ(r.at(3).tS, 1.5);
+    EXPECT_DOUBLE_EQ(r.at(3).dtS, 0.5);
+    EXPECT_DOUBLE_EQ(r.at(3).value, 4.0);
+}
+
+TEST(SeriesRing, DownsamplesPairwiseWhenFull)
+{
+    SeriesRing r("p", Unit::Watts, Downsample::Mean, 4);
+    for (int i = 0; i < 3; ++i)
+        r.push(i * 1.0, 1.0, 10.0 * (i + 1));
+    EXPECT_EQ(r.stride(), 1u);
+    // The push that fills the ring compacts it: 4 -> 2, stride 2.
+    r.push(3.0, 1.0, 40.0);
+    EXPECT_EQ(r.stride(), 2u);
+    EXPECT_EQ(r.size(), 2u);
+    r.push(4.0, 1.0, 50.0); // accumulates into a pending point
+    // Merged points: dt-weighted means of (10,20) and (30,40).
+    EXPECT_DOUBLE_EQ(r.at(0).tS, 0.0);
+    EXPECT_DOUBLE_EQ(r.at(0).dtS, 2.0);
+    EXPECT_DOUBLE_EQ(r.at(0).value, 15.0);
+    EXPECT_DOUBLE_EQ(r.at(1).value, 35.0);
+    // The 5th push is a pending partial point, visible in snapshot().
+    const auto snap = r.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_DOUBLE_EQ(snap[2].tS, 4.0);
+    EXPECT_DOUBLE_EQ(snap[2].dtS, 1.0);
+    EXPECT_DOUBLE_EQ(snap[2].value, 50.0);
+}
+
+TEST(SeriesRing, MeanDownsamplingPreservesIntegral)
+{
+    SeriesRing r("p", Unit::Watts, Downsample::Mean, 4);
+    double integral = 0.0;
+    for (int i = 0; i < 37; ++i) {
+        const double v = 0.3 + 0.07 * (i % 11);
+        r.push(i * 0.25, 0.25, v);
+        integral += v * 0.25;
+    }
+    EXPECT_LE(r.size(), 4u);
+    EXPECT_GT(r.stride(), 1u);
+    double stored = 0.0;
+    for (const auto &pt : r.snapshot())
+        stored += pt.value * pt.dtS;
+    EXPECT_NEAR(stored, integral, 1e-12 * integral);
+    // The time axis stays contiguous: each point starts where the
+    // previous one ended.
+    const auto snap = r.snapshot();
+    for (std::size_t i = 1; i < snap.size(); ++i)
+        EXPECT_NEAR(snap[i].tS, snap[i - 1].tS + snap[i - 1].dtS, 1e-12);
+}
+
+TEST(SeriesRing, SumDownsamplingPreservesTotal)
+{
+    SeriesRing r("e", Unit::Joules, Downsample::Sum, 6);
+    double total = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const double v = 1e-6 * (1 + i % 7);
+        r.push(i * 1.0, 1.0, v);
+        total += v;
+    }
+    EXPECT_LE(r.size(), 6u);
+    double stored = 0.0;
+    for (const auto &pt : r.snapshot())
+        stored += pt.value;
+    EXPECT_NEAR(stored, total, 1e-12 * total);
+    EXPECT_EQ(r.pushes(), 100u);
+}
+
+TEST(SeriesRing, RejectsBadInput)
+{
+    EXPECT_THROW(SeriesRing("x", Unit::Watts, Downsample::Mean, 3),
+                 std::logic_error);
+    SeriesRing r("x", Unit::Watts, Downsample::Mean, 4);
+    EXPECT_THROW(r.push(0.0, 0.0, 1.0), std::logic_error);
+    EXPECT_THROW(r.push(0.0, 1.0, std::nan("")), std::logic_error);
+}
+
+// ---- recorder / aggregation ------------------------------------------
+
+TEST(TelemetryRecorder, AggregateMatchesRunningStatsBitExact)
+{
+    // The aggregation layer runs the same Welford pass as
+    // board::PowerMeasurement — means and stddevs are bit-identical,
+    // which is what lets the power-cap study switch to the telemetry
+    // path without changing a single reported number.
+    TelemetryRecorder rec;
+    const std::size_t id =
+        rec.defineSeries("p", Unit::Watts, Downsample::Mean);
+    RunningStats ref;
+    for (int i = 0; i < 200; ++i) {
+        const double v = 2.0 + 0.013 * (i % 17) - 0.007 * (i % 5);
+        rec.record(id, i * 1.0, 1.0, v);
+        ref.add(v);
+    }
+    const telemetry::Aggregate a = rec.aggregate("p");
+    EXPECT_EQ(a.count, 200u);
+    EXPECT_EQ(a.mean, ref.mean());
+    EXPECT_EQ(a.stddev, ref.stddev());
+    EXPECT_EQ(a.min, ref.min());
+    EXPECT_EQ(a.max, ref.max());
+    EXPECT_GE(a.p50, a.min);
+    EXPECT_LE(a.p99, a.max);
+    EXPECT_LE(a.p50, a.p95);
+}
+
+TEST(TelemetryRecorder, DefineSeriesIsIdempotentAndTyped)
+{
+    TelemetryRecorder rec;
+    const std::size_t a =
+        rec.defineSeries("p", Unit::Watts, Downsample::Mean);
+    EXPECT_EQ(rec.defineSeries("p", Unit::Watts, Downsample::Mean), a);
+    EXPECT_THROW(rec.defineSeries("p", Unit::Joules, Downsample::Sum),
+                 std::logic_error);
+}
+
+TEST(TelemetryRecorder, MergePrefixesAndPreservesRingState)
+{
+    TelemetryRecorder task;
+    const std::size_t id =
+        task.defineSeries("e", Unit::Joules, Downsample::Sum);
+    // Push past capacity so the merged ring carries nontrivial
+    // stride/pending state.
+    TelemetryRecorder small(telemetry::RecorderConfig{4, false});
+    const std::size_t sid =
+        small.defineSeries("e", Unit::Joules, Downsample::Sum);
+    for (int i = 0; i < 11; ++i) {
+        task.record(id, i * 1.0, 1.0, 1.0 + i);
+        small.record(sid, i * 1.0, 1.0, 1.0 + i);
+    }
+
+    TelemetryRecorder merged;
+    merged.merge(task, "t0/");
+    merged.merge(small, "t1/");
+    const SeriesRing *a = merged.find("t0/e");
+    const SeriesRing *b = merged.find("t1/e");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->pushes(), 11u);
+    EXPECT_GT(small.series(sid).stride(), 1u);
+    EXPECT_EQ(b->stride(), small.series(sid).stride());
+    EXPECT_EQ(b->pushes(), small.series(sid).pushes());
+    // Totals survive the merge exactly.
+    EXPECT_EQ(merged.sum("t0/e"), task.sum("e"));
+    EXPECT_EQ(merged.sum("t1/e"), small.sum("e"));
+    // Colliding names are an error, not a silent overwrite.
+    EXPECT_THROW(merged.merge(task, "t0/"), std::logic_error);
+}
+
+// ---- exporters --------------------------------------------------------
+
+TEST(TelemetryExport, CsvRoundTripIsBitIdentical)
+{
+    TelemetryRecorder rec(telemetry::RecorderConfig{4, false});
+    rec.setCyclesPerSample(2000);
+    const std::size_t p =
+        rec.defineSeries("power.w", Unit::Watts, Downsample::Mean);
+    const std::size_t e =
+        rec.defineSeries("energy.j", Unit::Joules, Downsample::Sum);
+    for (int i = 0; i < 9; ++i) {
+        rec.record(p, i * (1.0 / 3.0), 1.0 / 3.0, 2.0 / (i + 3));
+        rec.record(e, i * (1.0 / 3.0), 1.0 / 3.0, 1e-7 * (i + 1) / 7.0);
+    }
+
+    std::ostringstream os;
+    telemetry::writeCsv(os, rec);
+    std::istringstream is(os.str());
+    const auto parsed = telemetry::readCsv(is);
+    ASSERT_EQ(parsed.size(), 2u);
+    for (std::size_t si = 0; si < parsed.size(); ++si) {
+        const SeriesRing &orig = rec.series(si);
+        const auto snap = orig.snapshot();
+        EXPECT_EQ(parsed[si].name, orig.name());
+        EXPECT_EQ(parsed[si].unit, telemetry::unitName(orig.unit()));
+        EXPECT_EQ(parsed[si].downsample,
+                  telemetry::downsampleName(orig.downsample()));
+        EXPECT_EQ(parsed[si].stride, orig.stride());
+        ASSERT_EQ(parsed[si].points.size(), snap.size());
+        for (std::size_t i = 0; i < snap.size(); ++i) {
+            // %.17g round-trips doubles exactly.
+            EXPECT_EQ(parsed[si].points[i].tS, snap[i].tS);
+            EXPECT_EQ(parsed[si].points[i].dtS, snap[i].dtS);
+            EXPECT_EQ(parsed[si].points[i].value, snap[i].value);
+        }
+    }
+}
+
+TEST(TelemetryExport, JsonlMatchesCsvSeries)
+{
+    TelemetryRecorder rec;
+    rec.setCyclesPerSample(1234);
+    const std::size_t p =
+        rec.defineSeries("power.w", Unit::Watts, Downsample::Mean);
+    for (int i = 0; i < 20; ++i)
+        rec.record(p, i * 0.059, 0.059, 1.0 / (i + 1));
+
+    std::ostringstream csv_os, jsonl_os;
+    telemetry::writeCsv(csv_os, rec);
+    telemetry::writeJsonl(jsonl_os, rec);
+    std::istringstream csv_is(csv_os.str()), jsonl_is(jsonl_os.str());
+    const auto from_csv = telemetry::readCsv(csv_is);
+    const auto from_jsonl = telemetry::readJsonl(jsonl_is);
+    ASSERT_EQ(from_csv.size(), from_jsonl.size());
+    for (std::size_t si = 0; si < from_csv.size(); ++si) {
+        EXPECT_EQ(from_csv[si].name, from_jsonl[si].name);
+        EXPECT_EQ(from_csv[si].unit, from_jsonl[si].unit);
+        ASSERT_EQ(from_csv[si].points.size(),
+                  from_jsonl[si].points.size());
+        for (std::size_t i = 0; i < from_csv[si].points.size(); ++i) {
+            EXPECT_EQ(from_csv[si].points[i].tS,
+                      from_jsonl[si].points[i].tS);
+            EXPECT_EQ(from_csv[si].points[i].value,
+                      from_jsonl[si].points[i].value);
+        }
+    }
+}
+
+// ---- System integration ----------------------------------------------
+
+TEST(TelemetrySystem, SampleWindowsAlignWithCyclesPerSample)
+{
+    sim::SystemOptions opts;
+    sim::System sys(opts);
+    TelemetryRecorder rec;
+    sys.attachTelemetry(&rec);
+    const std::uint32_t samples = 16;
+    sys.measure(samples);
+
+    const double dt =
+        static_cast<double>(opts.cyclesPerSample) / sys.coreClockHz();
+    const std::uint32_t warm =
+        std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(opts.warmupCycles
+                                          / opts.cyclesPerSample))
+        + 4; // thermal pin iterations
+    const SeriesRing *truth = rec.find(ts::kPowerOnChipW);
+    ASSERT_NE(truth, nullptr);
+    ASSERT_EQ(truth->size(), warm + samples);
+    for (std::size_t i = 0; i < truth->size(); ++i) {
+        EXPECT_DOUBLE_EQ(truth->at(i).dtS, dt);
+        EXPECT_NEAR(truth->at(i).tS, i * dt, 1e-9);
+    }
+    // Measured samples share the true series' windows: sample j of the
+    // monitor chain covers the same [t, t+dt) as true window warm+j.
+    const SeriesRing *meas = rec.find(ts::kMeasuredOnChipW);
+    ASSERT_NE(meas, nullptr);
+    ASSERT_EQ(meas->size(), samples);
+    for (std::size_t j = 0; j < meas->size(); ++j) {
+        EXPECT_NEAR(meas->at(j).tS, truth->at(warm + j).tS, 1e-9);
+        EXPECT_DOUBLE_EQ(meas->at(j).dtS, dt);
+    }
+    EXPECT_EQ(rec.cyclesPerSample(), opts.cyclesPerSample);
+}
+
+TEST(TelemetrySystem, MeasuredSeriesReproducesPowerMeasurement)
+{
+    // Two identical systems, one observed through telemetry: the
+    // telemetry-path mean must equal the PowerMeasurement mean to the
+    // last bit (this is what keeps the power-cap rewire's numbers
+    // unchanged).
+    sim::SystemOptions opts;
+    opts.chipId = 3;
+    sim::System plain(opts);
+    sim::System observed(opts);
+    const auto progs_a = workloads::loadMicrobench(
+        plain, workloads::Microbench::HP, 4, 2, /*iterations=*/0);
+    const auto progs_b = workloads::loadMicrobench(
+        observed, workloads::Microbench::HP, 4, 2, /*iterations=*/0);
+    TelemetryRecorder rec;
+    observed.attachTelemetry(&rec);
+    const board::PowerMeasurement m = plain.measure(12);
+    observed.measure(12);
+    EXPECT_DOUBLE_EQ(rec.aggregate(ts::kMeasuredOnChipW).mean,
+                     m.onChipMeanW());
+    EXPECT_DOUBLE_EQ(rec.aggregate(ts::kMeasuredOnChipW).stddev,
+                     m.onChipStddevW());
+    EXPECT_DOUBLE_EQ(rec.aggregate(ts::kMeasuredVddW).mean,
+                     m.vddW.mean());
+    EXPECT_DOUBLE_EQ(rec.aggregate(ts::kMeasuredVioW).mean,
+                     m.vioW.mean());
+}
+
+TEST(TelemetrySystem, IntegratedEnergyAgreesWithLedger)
+{
+    sim::SystemOptions opts;
+    sim::System sys(opts);
+    const auto progs = workloads::loadMicrobench(
+        sys, workloads::Microbench::HP, 6, 2, /*iterations=*/400);
+    telemetry::RecorderConfig cfg;
+    cfg.perTile = true;
+    TelemetryRecorder rec(cfg);
+    sys.attachTelemetry(&rec);
+    const auto res = sys.runToCompletion(5'000'000);
+    ASSERT_TRUE(res.completed);
+
+    // The ledger is ground truth; telemetry re-derives the same energy
+    // three ways (documented tolerance: 1e-9 relative, DESIGN.md §8).
+    const double ledger_j =
+        sys.pitonChip().ledger().total().onChipCoreAndSram();
+    ASSERT_GT(ledger_j, 0.0);
+    const double tol = 1e-9 * ledger_j;
+    EXPECT_NEAR(rec.sum(ts::kEnergyActiveJ), ledger_j, tol);
+    EXPECT_NEAR(rec.integrate(ts::kPowerDynamicW), ledger_j, tol);
+    double cat_sum = 0.0;
+    for (std::size_t i = 0; i < power::kNumCategories; ++i) {
+        const auto c = static_cast<power::Category>(i);
+        cat_sum += rec.sum(std::string(ts::kEnergyCategoryPrefix)
+                           + power::categoryName(c) + "_j");
+    }
+    EXPECT_NEAR(cat_sum, ledger_j, tol);
+
+    // Per-tile series reproduce the chip's per-tile core-energy
+    // counters exactly (the baselines were snapshotted at attach,
+    // before any activity).
+    const std::vector<double> tiles = sys.pitonChip().tileCoreEnergyJ();
+    ASSERT_EQ(tiles.size(), 25u);
+    double tile_sum = 0.0;
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        std::string name = ts::kTilePrefix;
+        name += static_cast<char>('0' + t / 10);
+        name += static_cast<char>('0' + t % 10);
+        name += ts::kTileCoreSuffix;
+        EXPECT_NEAR(rec.sum(name), tiles[t], 1e-12 + 1e-9 * tiles[t])
+            << "tile " << t;
+        tile_sum += rec.sum(name);
+    }
+    EXPECT_GT(tile_sum, 0.0);
+    // Core-attributed energy is a subset of Exec+Rollback: the memory
+    // system books additional Rollback energy chip-wide.
+    const double core_local_j =
+        sys.pitonChip().ledger().category(power::Category::Exec)
+            .onChipCoreAndSram()
+        + sys.pitonChip().ledger().category(power::Category::Rollback)
+              .onChipCoreAndSram();
+    EXPECT_LE(tile_sum, core_local_j + tol);
+    // Instruction counter telemetry matches the chip.
+    EXPECT_DOUBLE_EQ(rec.sum(ts::kChipInsts),
+                     static_cast<double>(sys.pitonChip().totalInsts()));
+}
+
+// ---- determinism ------------------------------------------------------
+
+TEST(TelemetryDeterminism, SerialAndParallelRunsExportIdentically)
+{
+    // The PR 1 sweep-engine contract extended to telemetry: per-task
+    // recorders merged in task order make the exported store
+    // bit-identical at any thread count.
+    core::PowerTimeSeriesExperiment exp;
+    TelemetryRecorder serial, threaded;
+    exp.runAll(2.0, 120.0, /*threads=*/1, &serial);
+    exp.runAll(2.0, 120.0, /*threads=*/4, &threaded);
+
+    std::ostringstream cs, ct, js, jt;
+    telemetry::writeCsv(cs, serial);
+    telemetry::writeCsv(ct, threaded);
+    telemetry::writeJsonl(js, serial);
+    telemetry::writeJsonl(jt, threaded);
+    EXPECT_GT(cs.str().size(), 0u);
+    EXPECT_EQ(cs.str(), ct.str());
+    EXPECT_EQ(js.str(), jt.str());
+}
+
+TEST(TelemetryDeterminism, ThermalSweepMergeIsThreadInvariant)
+{
+    // Small configuration of the Fig. 17 path: full telemetry through
+    // sim::System measurement, merged across family tasks.
+    sim::SystemOptions opts = core::thermalStudyOptions();
+    opts.sweepThreads = 1;
+    const core::ThermalSweepExperiment serial_exp(opts, /*samples=*/4);
+    opts.sweepThreads = 3;
+    const core::ThermalSweepExperiment threaded_exp(opts, 4);
+
+    TelemetryRecorder serial, threaded;
+    const auto a = serial_exp.runAll(&serial);
+    const auto b = threaded_exp.runAll(&threaded);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].powerW, b[i].powerW);
+        EXPECT_DOUBLE_EQ(a[i].packageTempC, b[i].packageTempC);
+    }
+    std::ostringstream sa, sb;
+    telemetry::writeCsv(sa, serial);
+    telemetry::writeCsv(sb, threaded);
+    EXPECT_GT(sa.str().size(), 0u);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+} // namespace
+} // namespace piton

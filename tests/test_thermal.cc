@@ -3,6 +3,8 @@
  * Unit tests for the lumped-RC thermal model.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "thermal/thermal_model.hh"
@@ -119,6 +121,86 @@ TEST(ThermalModel, ThermalHysteresisUnderPhasedLoad)
     }
     EXPECT_GT(t_end_high, t_end_low); // loop has nonzero area
     EXPECT_LT(t_end_high - t_end_low, 2.0); // but is a narrow band
+}
+
+TEST(ThermalModel, ConvergesFromDifferentInitialTemperatures)
+{
+    // The steady state is a global attractor: trajectories started
+    // cold (ambient) and hot (well above the equilibrium) must both
+    // settle onto steadyState(p), and onto each other.
+    const double p = 1.5;
+    ThermalModel cold;
+    ThermalModel hot;
+    hot.setState({90.0, 85.0, 80.0});
+    const ThermalState target = cold.steadyState(p);
+    for (int i = 0; i < 6000; ++i) {
+        cold.step(p, 1.0);
+        hot.step(p, 1.0);
+    }
+    EXPECT_NEAR(cold.dieTempC(), target.dieC, 0.05);
+    EXPECT_NEAR(cold.packageTempC(), target.packageC, 0.05);
+    EXPECT_NEAR(hot.dieTempC(), target.dieC, 0.05);
+    EXPECT_NEAR(hot.packageTempC(), target.packageC, 0.05);
+    EXPECT_NEAR(cold.dieTempC(), hot.dieTempC(), 1e-3);
+    EXPECT_NEAR(cold.packageTempC(), hot.packageTempC(), 1e-3);
+}
+
+TEST(ThermalModel, SampledTransientMatchesClosedFormTwoNode)
+{
+    // Without the heat sink the network is a 2-node linear ODE with an
+    // exact solution: x' = A x for the deviation x from steady state,
+    //   A = [ -1/(Cd*Rdp)          1/(Cd*Rdp)           ]
+    //       [  1/(Cp*Rdp)  -(1/Rdp + 1/Rpa)/Cp          ]
+    // Diagonalize A (2x2, distinct real eigenvalues) and compare the
+    // Euler-integrated trajectory against the eigenmode solution at
+    // sampled times.
+    ThermalParams prm;
+    prm.hasHeatSink = false;
+    prm.fanEffectiveness = 1.0; // convection factor = 1 exactly
+    ThermalModel m(prm);
+    const double p = 0.6;
+    const double cd = prm.dieCap, cp = prm.packageCap;
+    const double rdp = prm.dieToPackageR;
+    const double rpa = prm.packageToAmbientNoSinkR;
+
+    const double a11 = -1.0 / (cd * rdp);
+    const double a12 = 1.0 / (cd * rdp);
+    const double a21 = 1.0 / (cp * rdp);
+    const double a22 = -(1.0 / rdp + 1.0 / rpa) / cp;
+    const double tr = a11 + a22;
+    const double det = a11 * a22 - a12 * a21;
+    const double disc = std::sqrt(tr * tr - 4.0 * det);
+    const double l1 = 0.5 * (tr + disc);
+    const double l2 = 0.5 * (tr - disc);
+    ASSERT_LT(l1, 0.0); // both modes decay
+    ASSERT_LT(l2, l1);  // distinct: fast die mode, slow package mode
+    // Eigenvectors from row 1 of (A - l*I): v = (a12, l - a11).
+    const double v1x = a12, v1y = l1 - a11;
+    const double v2x = a12, v2y = l2 - a11;
+
+    // Initial deviation: both nodes at ambient, below steady state.
+    const ThermalState ss = m.steadyState(p);
+    const double x0 = prm.ambientC - ss.dieC;
+    const double y0 = prm.ambientC - ss.packageC;
+    // Solve c1*v1 + c2*v2 = (x0, y0).
+    const double den = v1x * v2y - v2x * v1y;
+    const double c1 = (x0 * v2y - v2x * y0) / den;
+    const double c2 = (v1x * y0 - x0 * v1y) / den;
+
+    const double dt = 0.5;
+    double t = 0.0;
+    for (int i = 0; i < 120; ++i) {
+        m.step(p, dt);
+        t += dt;
+        const double e1 = c1 * std::exp(l1 * t);
+        const double e2 = c2 * std::exp(l2 * t);
+        const double die_exact = ss.dieC + e1 * v1x + e2 * v2x;
+        const double pkg_exact = ss.packageC + e1 * v1y + e2 * v2y;
+        EXPECT_NEAR(m.dieTempC(), die_exact, 0.15)
+            << "die at t=" << t;
+        EXPECT_NEAR(m.packageTempC(), pkg_exact, 0.15)
+            << "package at t=" << t;
+    }
 }
 
 TEST(ThermalModel, StepRejectsNonPositiveDt)
