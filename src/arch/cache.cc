@@ -1,5 +1,7 @@
 #include "arch/cache.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace piton::arch
@@ -20,49 +22,18 @@ mesiName(Mesi s)
 
 CacheArray::CacheArray(const config::CacheParams &params)
     : sets_(params.numSets()), ways_(params.associativity),
-      lineBytes_(params.lineBytes)
+      lineBytes_(params.lineBytes),
+      lineShift_(static_cast<std::uint32_t>(
+          std::countr_zero(params.lineBytes))),
+      setsPow2_((params.numSets() & (params.numSets() - 1)) == 0)
 {
     piton_assert(sets_ > 0 && ways_ > 0 && lineBytes_ >= 8,
                  "bad cache geometry");
     piton_assert((lineBytes_ & (lineBytes_ - 1)) == 0,
                  "line size must be a power of two");
-    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
-}
-
-CacheLine *
-CacheArray::find(Addr addr)
-{
-    const Addr line = lineAlign(addr);
-    const std::size_t base = static_cast<std::size_t>(setOf(addr)) * ways_;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        CacheLine &cl = lines_[base + w];
-        if (cl.valid() && cl.tag == line)
-            return &cl;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::find(Addr addr) const
-{
-    return const_cast<CacheArray *>(this)->find(addr);
-}
-
-Mesi
-CacheArray::probe(Addr addr) const
-{
-    const CacheLine *cl = find(addr);
-    return cl ? cl->state : Mesi::Invalid;
-}
-
-bool
-CacheArray::access(Addr addr, Cycle now)
-{
-    CacheLine *cl = find(addr);
-    if (!cl)
-        return false;
-    cl->lastUse = now;
-    return true;
+    pad_ = static_cast<std::uint32_t>(
+        (reinterpret_cast<std::uintptr_t>(this) >> 4) % 171);
+    lines_.resize(pad_ + static_cast<std::size_t>(sets_) * ways_);
 }
 
 bool
@@ -80,7 +51,8 @@ CacheArray::fill(Addr addr, Mesi state, Cycle now)
 {
     piton_assert(state != Mesi::Invalid, "cannot fill an invalid line");
     const Addr line = lineAlign(addr);
-    const std::size_t base = static_cast<std::size_t>(setOf(addr)) * ways_;
+    const std::size_t base =
+        pad_ + static_cast<std::size_t>(setOf(addr)) * ways_;
 
     // Hit: just update state.
     if (CacheLine *cl = find(addr)) {

@@ -65,14 +65,38 @@ class CacheArray
     Addr lineAlign(Addr a) const { return a & ~static_cast<Addr>(lineBytes_ - 1); }
     std::uint32_t setOf(Addr a) const
     {
-        return static_cast<std::uint32_t>((a / lineBytes_) % sets_);
+        // Line size is asserted to be a power of two; sets almost
+        // always are too, so the hot path is shift+mask (the modulo
+        // fallback keeps odd geometries working).
+        const Addr idx = a >> lineShift_;
+        return setsPow2_ ? static_cast<std::uint32_t>(idx & (sets_ - 1))
+                         : static_cast<std::uint32_t>(idx % sets_);
     }
 
     /** Look a line up; returns its state without touching LRU. */
-    Mesi probe(Addr addr) const;
+    Mesi
+    probe(Addr addr) const
+    {
+        const CacheLine *cl = find(addr);
+        return cl ? cl->state : Mesi::Invalid;
+    }
 
     /** Look a line up and update LRU on hit. */
-    bool access(Addr addr, Cycle now);
+    bool
+    access(Addr addr, Cycle now)
+    {
+        CacheLine *cl = find(addr);
+        if (!cl)
+            return false;
+        cl->lastUse = now;
+        return true;
+    }
+
+    /** Mutable handle to a resident line, or nullptr.  Does not touch
+     *  LRU; callers caching the pointer must revalidate tag+state on
+     *  every use (fills can repurpose the slot).  Pointers stay alive
+     *  for the array's lifetime (the line vector never reallocates). */
+    CacheLine *lineAt(Addr addr) { return find(addr); }
 
     /** Change a resident line's state; false if the line is absent. */
     bool setState(Addr addr, Mesi state);
@@ -90,13 +114,40 @@ class CacheArray
     void flushAll();
 
   private:
-    CacheLine *find(Addr addr);
-    const CacheLine *find(Addr addr) const;
+    CacheLine *
+    find(Addr addr)
+    {
+        const Addr line = lineAlign(addr);
+        const std::size_t base =
+            pad_ + static_cast<std::size_t>(setOf(addr)) * ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            CacheLine &cl = lines_[base + w];
+            if (cl.valid() && cl.tag == line)
+                return &cl;
+        }
+        return nullptr;
+    }
+    const CacheLine *
+    find(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(addr);
+    }
 
     std::uint32_t sets_;
     std::uint32_t ways_;
     std::uint32_t lineBytes_;
-    std::vector<CacheLine> lines_; // sets_ * ways_, row-major by set
+    std::uint32_t lineShift_;  ///< log2(lineBytes_)
+    bool setsPow2_;
+    /**
+     * Leading dummy entries in lines_, staggering each instance's hot
+     * metadata across host-cache sets.  The 25 tiles run identical
+     * programs at identical addresses, so without the stagger every
+     * tile's hot line sits at the same offset of a same-sized
+     * allocation and the per-cycle tile sweep thrashes a single host
+     * L1 set.  Model-visible behaviour is unaffected.
+     */
+    std::uint32_t pad_ = 0;
+    std::vector<CacheLine> lines_; // pad_ + sets_ * ways_, row-major
 };
 
 } // namespace piton::arch

@@ -15,6 +15,11 @@ Core::Core(TileId tile, const config::PitonParams &params,
 {
     threads_.resize(params_.threadsPerCore);
     lastIssue_.resize(params_.threadsPerCore, {nullptr, 0});
+    piton_assert(params_.storeBufferEntries > 0,
+                 "store buffer needs at least one entry");
+    storeBuffer_.resize(params_.storeBufferEntries);
+    hwidBase_ = static_cast<RegVal>(tile_) * params_.threadsPerCore;
+    l1iLineMask_ = ~static_cast<Addr>(params_.l1i.lineBytes - 1);
 }
 
 void
@@ -34,27 +39,6 @@ Core::loadProgram(ThreadId tid, const isa::Program *program,
     }
 }
 
-void
-Core::charge(power::Category c, const power::RailEnergy &e)
-{
-    ledger_.add(c, e);
-    coreEnergy_ += e;
-}
-
-void
-Core::chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2)
-{
-    const auto activity = power::EnergyModel::operandActivity(rs1, rs2);
-    double scale = dynFactor_;
-    if (draftActive_) {
-        // Execution Drafting: the duplicated front-end (fetch/decode)
-        // work of the drafted instruction is saved.
-        scale *= 1.0 - energy_.params().execDraftFrontEndFrac;
-    }
-    charge(power::Category::Exec,
-           energy_.instructionEnergy(cls, activity).scaled(scale));
-}
-
 bool
 Core::draftCheck(ThreadId tid, const ThreadState &t)
 {
@@ -70,16 +54,25 @@ Core::draftCheck(ThreadId tid, const ThreadState &t)
 void
 Core::drainStoreBuffer(Cycle now)
 {
-    while (!storeBuffer_.empty() && storeBuffer_.front() <= now)
-        storeBuffer_.erase(storeBuffer_.begin());
+    while (sbCount_ > 0 && storeBuffer_[sbHead_] <= now) {
+        if (++sbHead_ == storeBuffer_.size())
+            sbHead_ = 0;
+        --sbCount_;
+    }
 }
 
 std::size_t
 Core::storeBufferDepth(Cycle now) const
 {
+    // Entries are sorted by completion cycle, so in-flight stores are
+    // a suffix of the live ring contents.
     std::size_t depth = 0;
-    for (const Cycle c : storeBuffer_)
-        depth += (c > now);
+    std::size_t idx = sbHead_;
+    for (std::uint32_t i = 0; i < sbCount_; ++i) {
+        depth += (storeBuffer_[idx] > now);
+        if (++idx == storeBuffer_.size())
+            idx = 0;
+    }
     return depth;
 }
 
@@ -102,20 +95,37 @@ Core::totalInsts() const
     return n;
 }
 
-Cycle
-Core::nextEventCycle(Cycle now) const
+bool
+Core::sharedPick(const ThreadState &t) const
 {
-    Cycle next = kNever;
-    for (const auto &t : threads_) {
-        if (t.status != ThreadStatus::Ready)
-            continue;
-        next = std::min(next, std::max(t.readyAt, now));
+    // An out-of-range pc must reach issue()'s diagnostic in global
+    // order, so treat it as shared rather than reading past the
+    // predecoded stream here.
+    if (t.pc >= t.program->size())
+        return true;
+    const isa::DecodedInst &d = t.program->decoded(t.pc);
+    switch (d.kind) {
+      case isa::IssueKind::Load:
+      case isa::IssueKind::Store:
+      case isa::IssueKind::Cas:
+        return true;
+      default:
+        break;
     }
-    return next;
+    // ALU/branch/halt: core-local iff the fetch stays in the tile's
+    // own L1I (which no other tile ever touches — fills come only from
+    // this tile's ifetch misses).  probe() leaves LRU untouched; the
+    // actual tick applies the LRU update.
+    const Addr fline = d.pc & l1iLineMask_;
+    const CacheLine *cl = t.fetchRef;
+    if (cl && t.fetchLine == fline && cl->tag == fline && cl->valid())
+        return false;
+    return !mem_.l1iResident(tile_, fline);
 }
 
-bool
-Core::tick(Cycle now)
+template <bool Ahead>
+Core::TickOutcome
+Core::tickImpl(Cycle now)
 {
     drainStoreBuffer(now);
 
@@ -129,7 +139,7 @@ Core::tick(Cycle now)
     std::uint32_t pick = n; // invalid
     if (execDrafting_) {
         for (std::uint32_t tid = 0; tid < n; ++tid) {
-            ThreadState &t = threads_[tid];
+            const ThreadState &t = threads_[tid];
             if (t.status != ThreadStatus::Ready || t.readyAt > now)
                 continue;
             if (pick == n)
@@ -141,65 +151,228 @@ Core::tick(Cycle now)
                      && t.pc == threads_[pick].pc && pick == lastIssued_)
                 pick = tid; // tie: alternate issuers
         }
-        if (pick != n) {
-            ThreadState &t = threads_[pick];
-            draftActive_ = draftCheck(pick, t);
-            // A drafted instruction reuses the sibling's front-end
-            // work: no context-switch energy is paid for it.
-            if (pick != lastIssued_ && !draftActive_) {
-                ++threadSwitches_;
-                charge(power::Category::Exec,
-                       energy_.threadSwitchEnergy().scaled(dynFactor_));
-            }
-            lastIssued_ = pick;
-            const std::uint32_t pc_before = t.pc;
-            const isa::Program *prog = t.program;
-            const std::uint64_t insts_before = t.instsExecuted;
-            issue(t, pick, now);
-            if (t.instsExecuted != insts_before) {
-                if (draftActive_)
-                    ++draftedInsts_;
-                lastIssue_[pick] = {prog, pc_before};
-                if (trace_)
-                    trace_(tile_, pick, now, prog->pcOf(pc_before),
-                           prog->at(pc_before));
-            }
-            draftActive_ = false;
-            return true;
+    } else {
+        std::uint32_t tid = lastIssued_;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (++tid >= n)
+                tid = 0;
+            const ThreadState &t = threads_[tid];
+            if (t.status != ThreadStatus::Ready || t.readyAt > now)
+                continue;
+            pick = tid;
+            break;
         }
-        return false;
     }
-    for (std::uint32_t i = 1; i <= n; ++i) {
-        const std::uint32_t tid = (lastIssued_ + i) % n;
-        ThreadState &t = threads_[tid];
-        if (t.status != ThreadStatus::Ready || t.readyAt > now)
-            continue;
-        // Hardware context switch: charged when the issue slot changes
-        // thread (the FGMT overhead of Section IV-H2).
-        if (tid != lastIssued_) {
-            ++threadSwitches_;
-            charge(power::Category::Exec,
-                   energy_.threadSwitchEnergy().scaled(dynFactor_));
-        }
-        lastIssued_ = tid;
-        draftActive_ = draftCheck(tid, t);
-        const std::uint32_t pc_before = t.pc;
-        const isa::Program *prog = t.program;
-        const std::uint64_t insts_before = t.instsExecuted;
-        issue(t, tid, now);
-        // An I-fetch miss stalls without executing: don't record it.
-        if (t.instsExecuted != insts_before) {
+    if (pick == n)
+        return TickOutcome::NoPick;
+
+    ThreadState &t = threads_[pick];
+    if constexpr (Ahead) {
+        // Stop before anything observable happens: the resume re-picks
+        // the same thread (nothing below mutates pick inputs) and pays
+        // the switch charge then, exactly as the in-order path would.
+        if (sharedPick(t))
+            return TickOutcome::Paused;
+    }
+
+    // A drafted instruction reuses the sibling's front-end work: no
+    // context-switch energy is paid for it.  (Without ExecD,
+    // draftCheck is constant false and this is the plain FGMT
+    // context-switch charge of Section IV-H2.)
+    draftActive_ = draftCheck(pick, t);
+    if (pick != lastIssued_ && !draftActive_) {
+        ++threadSwitches_;
+        charge(power::Category::Exec,
+               energy_.threadSwitchEnergy().scaled(dynFactor_));
+    }
+    lastIssued_ = pick;
+    const std::uint32_t pc_before = t.pc;
+    const isa::Program *prog = t.program;
+    const std::uint64_t insts_before = t.instsExecuted;
+    issue(t, pick, now);
+    // An I-fetch miss stalls without executing: don't record it.
+    if (t.instsExecuted != insts_before) {
+        // Draft-match history only feeds draftCheck, so it is
+        // maintained only while ExecD is on (setExecDrafting clears it
+        // on a mode change, so a later enable starts from a clean
+        // slate instead of stale pre-drafting history).
+        if (execDrafting_) {
             if (draftActive_)
                 ++draftedInsts_;
-            lastIssue_[tid] = {prog, pc_before};
-            if (trace_)
-                trace_(tile_, tid, now, prog->pcOf(pc_before),
-                       prog->at(pc_before));
+            lastIssue_[pick] = {prog, pc_before};
         }
-        draftActive_ = false;
-        return true;
+        if (trace_)
+            trace_(tile_, pick, now, prog->pcOf(pc_before),
+                   prog->at(pc_before));
     }
-    return false;
+    draftActive_ = false;
+    return TickOutcome::Picked;
+}
+
+template Core::TickOutcome Core::tickImpl<false>(Cycle);
+template Core::TickOutcome Core::tickImpl<true>(Cycle);
+
+bool
+Core::tick(Cycle now)
+{
+    return tickImpl<false>(now) == TickOutcome::Picked;
+}
+
+Core::AheadResult
+Core::runAhead(Cycle from, Cycle lim)
+{
+    // The burst loop assumes plain round-robin between two ready
+    // threads and an empty store buffer; anything else takes the
+    // generic per-cycle loop.
+    if (!execDrafting_ && !trace_ && sbCount_ == 0 && threads_.size() == 2
+        && threads_[0].status == ThreadStatus::Ready
+        && threads_[1].status == ThreadStatus::Ready)
+        return runAheadBurst(from, lim);
+    return runAheadGeneric(from, lim);
+}
+
+Core::AheadResult
+Core::runAheadGeneric(Cycle from, Cycle lim)
+{
+    AheadResult r;
+    Cycle cur = from;
+    for (;;) {
+        ledger_.setCaptureCycle(cur);
+        if (tickImpl<true>(cur) == TickOutcome::Paused) {
+            r.next = cur;
+            r.paused = true;
+            return r;
+        }
+        r.last = cur;
+        r.ticked = true;
+        const Cycle next = nextEventCycle(cur + 1);
+        if (next == kNever || next >= lim) {
+            r.next = next;
+            return r;
+        }
+        cur = next;
+    }
+}
+
+Core::AheadResult
+Core::runAheadBurst(Cycle from, Cycle lim)
+{
+    AheadResult r;
+    ThreadState *const th[2] = {&threads_[0], &threads_[1]};
+    // Scaling the switch energy is deterministic, so hoisting it out
+    // of the loop keeps the charged bits identical.
+    const power::RailEnergy switch_e =
+        energy_.threadSwitchEnergy().scaled(dynFactor_);
+    Cycle cur = from;
+    std::uint32_t last = lastIssued_;
+    for (;;) {
+        // Round-robin pick, in tickImpl's scan order: the sibling of
+        // the last issuer first.  `cur` is always a cycle where at
+        // least one thread is ready, so the fallback pick is ready.
+        std::uint32_t pick = last ^ 1u;
+        if (th[pick]->readyAt > cur)
+            pick = last;
+        ThreadState &t = *th[pick];
+
+        // Exit to the generic loop for anything but a core-local
+        // ALU/branch issue: tickImpl re-picks the same thread (nothing
+        // below mutates its inputs before this point).
+        if (t.pc >= t.program->size())
+            break;
+        const isa::DecodedInst &d = t.program->decoded(t.pc);
+        switch (d.kind) {
+          case isa::IssueKind::Alu:
+          case isa::IssueKind::Branch:
+            break;
+          default:
+            goto generic; // load/store/CAS (shared) or halt (rare)
+        }
+        {
+            const Addr fline = d.pc & l1iLineMask_;
+            CacheLine *const cl = t.fetchRef;
+            const bool filter_hit = cl && t.fetchLine == fline
+                                    && cl->tag == fline && cl->valid();
+            if (!filter_hit && !mem_.l1iResident(tile_, fline))
+                break; // I-fetch miss: a shared op
+
+            // Committed to this issue: replicate tickImpl's per-cycle
+            // charge order (thread switch, fetch, exec).
+            ledger_.setCaptureCycle(cur);
+            if (pick != last) {
+                ++threadSwitches_;
+                charge(power::Category::Exec, switch_e);
+            }
+            last = pick;
+
+            if (filter_hit) [[likely]] {
+                cl->lastUse = cur;
+            } else {
+                const std::uint32_t extra = mem_.ifetch(tile_, d.pc, cur);
+                piton_assert(extra == 0,
+                             "resident L1I line missed in ifetch");
+                t.fetchLine = fline;
+                t.fetchRef = mem_.l1iLine(tile_, fline);
+            }
+
+            const isa::InstClass cls = d.cls;
+            if (d.kind == isa::IssueKind::Branch) {
+                chargeExec(cls, t.cc.zero, t.cc.negative);
+                const bool taken = isa::branchTaken(d.op, t.cc);
+                t.pc = taken ? d.target : t.pc + 1;
+            } else {
+                const auto &srcs = d.fp ? t.fregs : t.regs;
+                const RegVal rs1 = srcs[d.rs1];
+                const RegVal rs2 = d.useImm ? static_cast<RegVal>(d.imm)
+                                            : srcs[d.rs2];
+                chargeExec(cls, rs1, rs2);
+                const isa::AluResult res = isa::evalAluOp(
+                    d.op, d.imm, rs1, rs2, hwidBase_ + pick);
+                if (res.writesRd && (d.fp || d.rd != 0)) {
+                    auto &dsts = d.fp ? t.fregs : t.regs;
+                    dsts[d.rd] = res.value;
+                }
+                if (res.setsCc)
+                    t.cc = res.cc;
+                ++t.pc;
+            }
+            ++t.classCounts[static_cast<std::size_t>(cls)];
+            t.readyAt = cur + d.latency;
+            ++t.instsExecuted;
+
+            r.last = cur;
+            r.ticked = true;
+            const Cycle next = std::max(
+                cur + 1, std::min(th[0]->readyAt, th[1]->readyAt));
+            if (next >= lim) {
+                lastIssued_ = last;
+                r.next = next;
+                return r;
+            }
+            cur = next;
+        }
+    }
+  generic:
+    lastIssued_ = last;
+    AheadResult g = runAheadGeneric(cur, lim);
+    if (r.ticked && (!g.ticked || g.last < r.last))
+        g.last = r.last;
+    g.ticked = g.ticked || r.ticked;
+    return g;
+}
+
+Core::AheadResult
+Core::resumeShared(Cycle c, Cycle lim)
+{
+    ledger_.setCaptureCycle(c);
+    tickImpl<false>(c); // the pending shared-memory op
+    const Cycle next = nextEventCycle(c + 1);
+    if (next == kNever || next >= lim)
+        return {next, c, false, true};
+    AheadResult r = runAhead(next, lim);
+    if (!r.ticked || r.last < c)
+        r.last = c;
+    r.ticked = true;
+    return r;
 }
 
 void
@@ -210,34 +383,43 @@ Core::issue(ThreadState &t, ThreadId tid, Cycle now)
                  "programs must loop or halt",
                  t.pc, t.program->size());
 
-    // Instruction fetch: an L1I miss stalls the thread and retries.
-    const Addr pc_addr = t.program->pcOf(t.pc);
-    const std::uint32_t fetch_extra = mem_.ifetch(tile_, pc_addr, now);
-    if (fetch_extra > 0) {
-        t.readyAt = now + fetch_extra;
-        t.memStallCycles += fetch_extra;
-        return;
+    // Predecoded record: energy class, issue latency, PC, operand
+    // fields, and dispatch group resolved once at Program construction.
+    const isa::DecodedInst &d = t.program->decoded(t.pc);
+
+    // Instruction fetch.  The per-thread MRU filter handles the
+    // common same-line repeat fetch: revalidate the cached line and
+    // apply the LRU touch the full lookup would.  Anything else (line
+    // crossing, eviction, invalidation) takes the full L1I path; an
+    // L1I miss stalls the thread and retries.
+    const Addr fline = d.pc & l1iLineMask_;
+    CacheLine *const cl = t.fetchRef;
+    if (cl && t.fetchLine == fline && cl->tag == fline && cl->valid())
+        [[likely]] {
+        cl->lastUse = now;
+    } else {
+        const std::uint32_t fetch_extra = mem_.ifetch(tile_, d.pc, now);
+        if (fetch_extra > 0) {
+            t.readyAt = now + fetch_extra;
+            t.memStallCycles += fetch_extra;
+            return;
+        }
+        t.fetchLine = fline;
+        t.fetchRef = mem_.l1iLine(tile_, fline);
     }
 
-    const isa::Instruction &inst = t.program->at(t.pc);
-    const isa::InstClass cls = isa::classOf(inst.op);
+    const isa::InstClass cls = d.cls;
 
-    // Source operand values (drive switching energy).
-    const auto &srcs = inst.fp ? t.fregs : t.regs;
-    const RegVal rs1 = srcs[inst.rs1];
-    const RegVal rs2 = inst.useImm ? static_cast<RegVal>(inst.imm)
-                                   : srcs[inst.rs2];
-
-    switch (inst.op) {
-      case isa::Opcode::Ldx: {
-        const Addr addr = t.regs[inst.rs1] + static_cast<Addr>(inst.imm);
+    switch (d.kind) {
+      case isa::IssueKind::Load: {
+        const Addr addr = t.regs[d.rs1] + static_cast<Addr>(d.imm);
         RegVal data = 0;
         const AccessOutcome out = mem_.load(tile_, addr, data, now);
         // Load energy switches with the returned data and the address
         // bus (the operand-value dependence of Fig. 11).
         chargeExec(cls, data, static_cast<RegVal>(addr));
-        if (inst.rd != 0)
-            t.regs[inst.rd] = data;
+        if (d.rd != 0)
+            t.regs[d.rd] = data;
         ++t.classCounts[static_cast<std::size_t>(cls)];
         if (out.level != HitLevel::L1) {
             ++t.loadRollbacks;
@@ -248,25 +430,29 @@ Core::issue(ThreadState &t, ThreadId tid, Cycle now)
         ++t.pc;
         return;
       }
-      case isa::Opcode::Stx: {
+      case isa::IssueKind::Store: {
         drainStoreBuffer(now);
-        if (storeBuffer_.size() >= params_.storeBufferEntries) {
+        if (sbCount_ >= params_.storeBufferEntries) {
             // Speculative issue found the buffer full: roll back this
             // thread and replay the store once a slot frees.
             ++t.storeRollbacks;
             charge(power::Category::Rollback,
                    energy_.rollbackEnergy().scaled(dynFactor_));
-            t.readyAt = storeBuffer_.front();
+            t.readyAt = storeBuffer_[sbHead_];
             return; // pc unchanged: the store re-executes
         }
-        const Addr addr = t.regs[inst.rs1] + static_cast<Addr>(inst.imm);
-        const RegVal data = t.regs[inst.rd];
+        const Addr addr = t.regs[d.rs1] + static_cast<Addr>(d.imm);
+        const RegVal data = t.regs[d.rd];
         chargeExec(cls, data, static_cast<RegVal>(addr));
         const AccessOutcome out = mem_.store(tile_, addr, data, now);
         // Stores drain serially: one per store latency.
         const Cycle start = std::max(now, lastStoreDrain_);
         const Cycle done = start + out.latency;
-        storeBuffer_.push_back(done);
+        std::size_t slot = sbHead_ + sbCount_;
+        if (slot >= storeBuffer_.size())
+            slot -= storeBuffer_.size();
+        storeBuffer_[slot] = done;
+        ++sbCount_;
         lastStoreDrain_ = done;
         // The thread itself continues; later instructions bypass the
         // buffered store.
@@ -276,14 +462,14 @@ Core::issue(ThreadState &t, ThreadId tid, Cycle now)
         ++t.pc;
         return;
       }
-      case isa::Opcode::Casx: {
-        const Addr addr = t.regs[inst.rs1];
-        chargeExec(cls, t.regs[inst.rs2], t.regs[inst.rd]);
+      case isa::IssueKind::Cas: {
+        const Addr addr = t.regs[d.rs1];
+        chargeExec(cls, t.regs[d.rs2], t.regs[d.rd]);
         RegVal old = 0;
         const AccessOutcome out = mem_.atomicCas(
-            tile_, addr, t.regs[inst.rs2], t.regs[inst.rd], old, now);
-        if (inst.rd != 0)
-            t.regs[inst.rd] = old;
+            tile_, addr, t.regs[d.rs2], t.regs[d.rd], old, now);
+        if (d.rd != 0)
+            t.regs[d.rd] = old;
         ++t.classCounts[static_cast<std::size_t>(cls)];
         t.memStallCycles += out.latency;
         t.readyAt = now + out.latency;
@@ -291,39 +477,41 @@ Core::issue(ThreadState &t, ThreadId tid, Cycle now)
         ++t.pc;
         return;
       }
-      case isa::Opcode::Beq:
-      case isa::Opcode::Bne:
-      case isa::Opcode::Bg:
-      case isa::Opcode::Bl:
-      case isa::Opcode::Ba: {
+      case isa::IssueKind::Branch: {
         chargeExec(cls, t.cc.zero, t.cc.negative);
-        const bool taken = isa::branchTaken(inst.op, t.cc);
-        t.pc = taken ? inst.target : t.pc + 1;
+        const bool taken = isa::branchTaken(d.op, t.cc);
+        t.pc = taken ? d.target : t.pc + 1;
         ++t.classCounts[static_cast<std::size_t>(cls)];
-        t.readyAt = now + lat_.latencyOf(cls);
+        t.readyAt = now + d.latency;
         ++t.instsExecuted;
         return;
       }
-      case isa::Opcode::Halt:
+      case isa::IssueKind::Halt:
         t.status = ThreadStatus::Halted;
         ++t.classCounts[static_cast<std::size_t>(cls)];
         ++t.instsExecuted;
         return;
+      case isa::IssueKind::Alu:
       default: {
-        // ALU / FP / pseudo ops.
+        // ALU / FP / pseudo ops.  Source operand values drive the
+        // switching energy.
+        const auto &srcs = d.fp ? t.fregs : t.regs;
+        const RegVal rs1 = srcs[d.rs1];
+        const RegVal rs2 = d.useImm ? static_cast<RegVal>(d.imm)
+                                    : srcs[d.rs2];
         chargeExec(cls, rs1, rs2);
-        const RegVal hwid =
-            static_cast<RegVal>(tile_) * params_.threadsPerCore + tid;
-        const isa::AluResult res = isa::evalAlu(inst, rs1, rs2, hwid);
+        const RegVal hwid = hwidBase_ + tid;
+        const isa::AluResult res =
+            isa::evalAluOp(d.op, d.imm, rs1, rs2, hwid);
         // %r0 is hardwired zero; FP registers have no zero register.
-        if (res.writesRd && (inst.fp || inst.rd != 0)) {
-            auto &dsts = inst.fp ? t.fregs : t.regs;
-            dsts[inst.rd] = res.value;
+        if (res.writesRd && (d.fp || d.rd != 0)) {
+            auto &dsts = d.fp ? t.fregs : t.regs;
+            dsts[d.rd] = res.value;
         }
         if (res.setsCc)
             t.cc = res.cc;
         ++t.classCounts[static_cast<std::size_t>(cls)];
-        t.readyAt = now + lat_.latencyOf(cls);
+        t.readyAt = now + d.latency;
         ++t.instsExecuted;
         ++t.pc;
         return;

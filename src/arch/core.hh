@@ -21,6 +21,7 @@
 #ifndef PITON_ARCH_CORE_HH
 #define PITON_ARCH_CORE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -53,6 +54,17 @@ struct ThreadState
     ThreadStatus status = ThreadStatus::Idle;
     Cycle readyAt = 0;
 
+    /**
+     * MRU fetch filter: the L1I line this thread last fetched from and
+     * its resident-line handle.  A repeat fetch revalidates tag+state
+     * on the cached line and applies the same LRU touch the full
+     * lookup would, skipping the associative way scan (whose data-
+     * dependent early exit mispredicts badly with 50 interleaved
+     * threads).  Any mismatch falls back to MemorySystem::ifetch.
+     */
+    Addr fetchLine = ~Addr{0};
+    CacheLine *fetchRef = nullptr;
+
     // Statistics.
     std::uint64_t instsExecuted = 0;
     /** Retired instructions per energy class (power-model fitting). */
@@ -79,7 +91,15 @@ class Core
      * MICRO'14): when a thread issues the same static instruction its
      * sibling just executed, the duplicated front-end work is saved.
      */
-    void setExecDrafting(bool enabled) { execDrafting_ = enabled; }
+    void
+    setExecDrafting(bool enabled)
+    {
+        if (enabled != execDrafting_)
+            std::fill(lastIssue_.begin(), lastIssue_.end(),
+                      std::pair<const isa::Program *, std::uint32_t>{
+                          nullptr, 0});
+        execDrafting_ = enabled;
+    }
     bool execDrafting() const { return execDrafting_; }
     /** Instructions that issued drafted (diagnostics). */
     std::uint64_t draftedInsts() const { return draftedInsts_; }
@@ -102,7 +122,82 @@ class Core
     /** Earliest future cycle at which this core can do work, or
      *  `kNever` when all threads are idle/halted. */
     static constexpr Cycle kNever = ~Cycle{0};
-    Cycle nextEventCycle(Cycle now) const;
+    Cycle nextEventCycle(Cycle now) const
+    {
+        Cycle next = kNever;
+        for (const auto &t : threads_) {
+            if (t.status != ThreadStatus::Ready)
+                continue;
+            next = std::min(next, std::max(t.readyAt, now));
+        }
+        return next;
+    }
+
+    /** Outcome of a batched runWindow call. */
+    struct WindowResult
+    {
+        /** Raw next-event cycle after the window (kNever when all
+         *  threads halted); always > the window's `until` bound. */
+        Cycle next = kNever;
+        /** The last cycle this core ticked (>= the window's `from`). */
+        Cycle last = 0;
+    };
+
+    /** Outcome of a run-ahead slice (see runAhead / resumeShared). */
+    struct AheadResult
+    {
+        /** When paused: the cycle of the pending shared-memory op.
+         *  Otherwise: the next event cycle (>= the slice limit, or
+         *  kNever when all threads halted). */
+        Cycle next = kNever;
+        /** Last cycle this core ticked; only valid when `ticked`. */
+        Cycle last = 0;
+        /** Stopped *before* a shared-memory op at cycle `next`. */
+        bool paused = false;
+        /** At least one tick executed in this slice. */
+        bool ticked = false;
+    };
+
+    /**
+     * Run-ahead slice for the chip's core-major scheduler: execute this
+     * core's events in [from, lim) as long as they are provably
+     * core-local (ALU/branch/halt instructions whose fetch hits the
+     * tile's own L1I).  The slice pauses *before* the first event that
+     * would touch MemorySystem (load/store/CAS or an I-fetch miss) so
+     * the chip can execute shared-memory ops in global (cycle, core)
+     * order.  Energy charges are expected to be captured by the ledger
+     * (EnergyLedger::beginCapture) and replayed in global order.
+     */
+    AheadResult runAhead(Cycle from, Cycle lim);
+
+    /** Execute the pending shared-memory op at cycle `c` (the pause
+     *  point a previous runAhead returned), then continue running
+     *  ahead core-locally until the next shared op or `lim`. */
+    AheadResult resumeShared(Cycle c, Cycle lim);
+
+    /** Whether a per-instruction trace hook is installed (the chip's
+     *  run-ahead scheduler is disabled then: hook invocation order
+     *  across cores is observable). */
+    bool hasTraceHook() const { return static_cast<bool>(trace_); }
+
+    /**
+     * Fast-path batched issue: run this core's events in the inclusive
+     * window [from, until] without returning to the chip loop.  The
+     * caller (PitonChip's event scheduler) guarantees no other core
+     * has an event inside the window, so per-instruction charge order
+     * matches the legacy per-cycle stepping exactly.
+     */
+    WindowResult runWindow(Cycle from, Cycle until)
+    {
+        Cycle cur = from;
+        for (;;) {
+            tick(cur);
+            const Cycle next = nextEventCycle(cur + 1);
+            if (next == kNever || next > until)
+                return {next, cur};
+            cur = next;
+        }
+    }
 
     bool allThreadsDone() const;
 
@@ -120,6 +215,13 @@ class Core
      *  is not tile-attributable. */
     const power::RailEnergy &coreEnergy() const { return coreEnergy_; }
 
+    /** Replay hook for charges captured with kCapturedCoreBit: apply
+     *  the deferred per-tile share (chip run-ahead scheduler only). */
+    void addCapturedCoreEnergy(const power::RailEnergy &e)
+    {
+        coreEnergy_ += e;
+    }
+
     /** Store-buffer occupancy (diagnostics / tests). */
     std::size_t storeBufferDepth(Cycle now) const;
 
@@ -133,10 +235,66 @@ class Core
     void setTraceHook(InstTraceHook hook) { trace_ = std::move(hook); }
 
   private:
+    /** What a tickImpl call did. */
+    enum class TickOutcome : std::uint8_t
+    {
+        NoPick, ///< no thread could issue this cycle
+        Picked, ///< a thread issued (or stalled in ifetch) this cycle
+        Paused, ///< Ahead mode only: stopped before a shared-memory op
+    };
+
+    /**
+     * One scheduling cycle.  Ahead mode returns Paused — with no state
+     * mutated beyond the (idempotent, invisible) store-buffer drain —
+     * when the picked thread's next action would touch MemorySystem.
+     */
+    template <bool Ahead>
+    TickOutcome tickImpl(Cycle now);
+
+    /** Would issuing thread `t` touch MemorySystem?  True for
+     *  load/store/CAS instructions and for fetches that miss both the
+     *  MRU filter and the tile's own L1I. */
+    bool sharedPick(const ThreadState &t) const;
+
+    /** The general per-cycle run-ahead loop (tickImpl<true> per event). */
+    AheadResult runAheadGeneric(Cycle from, Cycle lim);
+
+    /**
+     * Specialized run-ahead for the steady state of the fast path:
+     * two ready threads, no Execution Drafting, no pending stores.
+     * Executes ALU/branch instructions whose fetch stays core-local in
+     * a tight loop that skips the pick scan, store-buffer drain and
+     * next-event recomputation of the generic path, falling back to
+     * runAheadGeneric at the first event it cannot prove equivalent.
+     * Charge order per cycle (switch, fetch, exec) matches tickImpl.
+     */
+    AheadResult runAheadBurst(Cycle from, Cycle lim);
+
     void issue(ThreadState &t, ThreadId tid, Cycle now);
-    /** Charge to the chip ledger and the per-tile accumulator. */
-    void charge(power::Category c, const power::RailEnergy &e);
-    void chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2);
+
+    /** Charge to the chip ledger and the per-tile accumulator.
+     *  Inline: this is called once or twice per issued instruction. */
+    void
+    charge(power::Category c, const power::RailEnergy &e)
+    {
+        if (ledger_.addCore(c, e))
+            return; // captured: replay applies the per-tile share
+        coreEnergy_ += e;
+    }
+
+    void
+    chargeExec(isa::InstClass cls, RegVal rs1, RegVal rs2)
+    {
+        const auto activity = power::EnergyModel::operandActivity(rs1, rs2);
+        double scale = dynFactor_;
+        if (draftActive_) {
+            // Execution Drafting: the duplicated front-end (fetch/
+            // decode) work of the drafted instruction is saved.
+            scale *= 1.0 - energy_.params().execDraftFrontEndFrac;
+        }
+        charge(power::Category::Exec,
+               energy_.instructionEnergy(cls, activity).scaled(scale));
+    }
     void drainStoreBuffer(Cycle now);
     /** Execution-Drafting check: does (program, pc) match the sibling
      *  thread's last issued instruction? Updates draft tracking. */
@@ -148,6 +306,8 @@ class Core
     const power::EnergyModel &energy_;
     power::EnergyLedger &ledger_;
     double dynFactor_;
+    RegVal hwidBase_ = 0; ///< tile * threadsPerCore (Rdhwid base)
+    Addr l1iLineMask_ = 0; ///< line-align mask for the fetch filter
     isa::LatencyTable lat_;
 
     std::vector<ThreadState> threads_;
@@ -160,8 +320,17 @@ class Core
     /** (program, pc) last issued per thread, for draft matching. */
     std::vector<std::pair<const isa::Program *, std::uint32_t>> lastIssue_;
 
-    /** FIFO of in-flight store completions (<= storeBufferEntries). */
+    /**
+     * Ring buffer of in-flight store completion cycles, capacity
+     * storeBufferEntries.  Completion cycles are pushed in
+     * monotonically non-decreasing order (each store drains after the
+     * previous one), so the head is always the earliest completion:
+     * drain pops from the head in O(1) and the occupancy is the O(1)
+     * live count `sbCount_`.
+     */
     std::vector<Cycle> storeBuffer_;
+    std::uint32_t sbHead_ = 0;
+    std::uint32_t sbCount_ = 0;
     Cycle lastStoreDrain_ = 0;
 
     InstTraceHook trace_;

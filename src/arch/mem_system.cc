@@ -523,13 +523,8 @@ MemorySystem::atomicCas(TileId tile, Addr addr, RegVal expected,
 }
 
 std::uint32_t
-MemorySystem::ifetch(TileId tile, Addr pc, Cycle now)
+MemorySystem::ifetchMiss(TileId tile, Addr line, Cycle now)
 {
-    Tile &t = tiles_[tile];
-    const Addr line = pc & ~static_cast<Addr>(params_.l1i.lineBytes - 1);
-    if (t.l1i.access(line, now))
-        return 0;
-
     ++stats_.ifetchMisses;
     const TileId home = homeTile(line);
     std::uint32_t latency = lat_.localL2Hit - lat_.l1Hit;
@@ -564,7 +559,7 @@ MemorySystem::ifetch(TileId tile, Addr pc, Cycle now)
             chipset_.postWriteback();
     }
 
-    t.l1i.fill(line, Mesi::Shared, now);
+    tiles_[tile].l1i.fill(line, Mesi::Shared, now);
     chargeStall(latency);
     return latency;
 }

@@ -103,8 +103,30 @@ class MemorySystem
     AccessOutcome atomicCas(TileId tile, Addr addr, RegVal expected,
                             RegVal swap, RegVal &old, Cycle now);
 
-    /** Extra fetch latency beyond the pipeline (0 on an L1I hit). */
-    std::uint32_t ifetch(TileId tile, Addr pc, Cycle now);
+    /** Extra fetch latency beyond the pipeline (0 on an L1I hit).  The
+     *  hit check inlines into the issue engine; only misses leave the
+     *  header (ifetchMiss). */
+    std::uint32_t ifetch(TileId tile, Addr pc, Cycle now)
+    {
+        const Addr line = pc & ~static_cast<Addr>(params_.l1i.lineBytes - 1);
+        if (tiles_[tile].l1i.access(line, now)) [[likely]]
+            return 0;
+        return ifetchMiss(tile, line, now);
+    }
+
+    /** Resident-L1I line handle for the issue engine's per-thread MRU
+     *  fetch cache (see Core::issue); nullptr when not resident. */
+    CacheLine *l1iLine(TileId tile, Addr line)
+    {
+        return tiles_[tile].l1i.lineAt(line);
+    }
+
+    /** Side-effect-free L1I residency check (no LRU touch), used by the
+     *  run-ahead scheduler to classify a fetch as core-local. */
+    bool l1iResident(TileId tile, Addr line) const
+    {
+        return tiles_[tile].l1i.probe(line) != Mesi::Invalid;
+    }
 
     // ---- chipset-facing interface (Fig. 12 experiment) --------------
 
@@ -182,6 +204,9 @@ class MemorySystem
     };
 
     Addr l2LineAlign(Addr a) const;
+
+    /** Out-of-line L1I miss path of ifetch(); `line` is line-aligned. */
+    std::uint32_t ifetchMiss(TileId tile, Addr line, Cycle now);
 
     /** Fetch a 16 B subline into tile's L1.5 (and optionally L1D) with
      *  the given MESI state; handles L1.5 dirty evictions. */

@@ -1,6 +1,7 @@
 #include "arch/piton_chip.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/logging.hh"
 
@@ -34,6 +35,17 @@ PitonChip::loadProgram(TileId tile, ThreadId tid,
 PitonChip::RunResult
 PitonChip::run(Cycle max_cycles)
 {
+    return fastPath_ ? runFast(max_cycles) : runLegacy(max_cycles);
+}
+
+/**
+ * Reference stepping: every core is visited at every stepped cycle.
+ * Kept verbatim as the equivalence baseline for the event-driven fast
+ * path (select with fastPath=false).
+ */
+PitonChip::RunResult
+PitonChip::runLegacy(Cycle max_cycles)
+{
     const Cycle end = now_ + max_cycles;
     RunResult res;
     while (now_ < end) {
@@ -60,6 +72,199 @@ PitonChip::run(Cycle max_cycles)
     }
     res.cyclesElapsed = max_cycles - (end - now_);
     return res;
+}
+
+/**
+ * Event-driven stepping.  A per-core next-event cache replaces the
+ * legacy triple scan (allThreadsDone / tick / nextEventCycle over all
+ * cores per stepped cycle): each iteration finds the earliest event
+ * cycle and only touches cores with work there.  When a single core
+ * owns the window up to the next other-core event, it batches
+ * back-to-back issue locally (Core::runWindow) without returning to
+ * this loop.
+ *
+ * Equivalence with runLegacy: cores are visited at exactly the cycles
+ * where they have ready threads, in core-index order within a cycle,
+ * so instructions issue — and energy is charged — in the identical
+ * per-instruction order.  Legacy additionally calls tick() on cores
+ * with no ready thread, but those calls only lazily prune completed
+ * store-buffer entries, which is behaviourally invisible (every
+ * consumer of the buffer re-drains or filters by completion cycle).
+ */
+PitonChip::RunResult
+PitonChip::runFast(Cycle max_cycles)
+{
+    const Cycle end = now_ + max_cycles;
+    RunResult res;
+    const std::size_t n = cores_.size();
+    // Refresh the cache on entry: loadProgram or direct Core
+    // manipulation between run() calls happens out of band.
+    nextAt_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        nextAt_[i] = cores_[i]->nextEventCycle(now_);
+
+    // Per-instruction trace hooks observe the cross-core interleaving
+    // directly, so run-ahead (which reorders core-local work) is off
+    // for traced runs; the in-order per-cycle pass below handles them.
+    bool traced = false;
+    for (const auto &c : cores_)
+        traced |= c->hasTraceHook();
+
+    // Scan state: earliest event cycle, how many cores share it, the
+    // index of the first such core, and the earliest event of any
+    // *other* core (the batch horizon when exactly one core owns the
+    // first event).  Cached entries never fall behind now_ (cores only
+    // ever schedule forward), so no clamping is needed.
+    Cycle first = Core::kNever;
+    Cycle second = Core::kNever;
+    std::size_t first_i = 0;
+    std::uint32_t at_first = 0;
+    const auto scan = [&] {
+        first = second = Core::kNever;
+        first_i = 0;
+        at_first = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Cycle e = nextAt_[i];
+            if (e == Core::kNever)
+                continue;
+            if (e < first) {
+                second = first;
+                first = e;
+                first_i = i;
+                at_first = 1;
+            } else if (e == first) {
+                ++at_first;
+                second = e;
+            } else if (e < second) {
+                second = e;
+            }
+        }
+    };
+    scan();
+
+    while (now_ < end) {
+        if (first == Core::kNever) {
+            res.allHalted = true;
+            break;
+        }
+        if (first >= end) {
+            now_ = end;
+            break;
+        }
+        if (at_first == 1) {
+            // Sole owner of [first, until]: batch issue core-locally.
+            const Cycle until = std::min(second, end) - 1;
+            const Core::WindowResult w =
+                cores_[first_i]->runWindow(first, until);
+            nextAt_[first_i] = w.next;
+            now_ = w.last;
+            scan();
+        } else if (!traced) {
+            // Multiple cores share this cycle: run a core-major
+            // run-ahead round.  Each core executes its core-local
+            // stretch in one contiguous slice, shared-memory ops are
+            // serialized in global (cycle, core) order, and the charge
+            // replay reconstructs the in-order ledger add sequence.
+            now_ = runAheadRound(first, std::min(first + kRoundCycles,
+                                                 end));
+            scan();
+        } else {
+            // Multiple cores share this cycle: interleave them in core
+            // index order, exactly like the legacy per-cycle step.  The
+            // pass recomputes the scan state from the updated events as
+            // it goes, so the steady all-cores-active case never pays a
+            // separate scan.
+            const Cycle cycle = first;
+            first = second = Core::kNever;
+            first_i = 0;
+            at_first = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                Cycle e = nextAt_[i];
+                if (e <= cycle) { // kNever never compares <=
+                    const Core::WindowResult w =
+                        cores_[i]->runWindow(cycle, cycle);
+                    e = w.next;
+                    nextAt_[i] = e;
+                }
+                if (e == Core::kNever)
+                    continue;
+                if (e < first) {
+                    second = first;
+                    first = e;
+                    first_i = i;
+                    at_first = 1;
+                } else if (e == first) {
+                    ++at_first;
+                    second = e;
+                } else if (e < second) {
+                    second = e;
+                }
+            }
+            now_ = cycle;
+        }
+    }
+    res.cyclesElapsed = max_cycles - (end - now_);
+    return res;
+}
+
+Cycle
+PitonChip::runAheadRound(Cycle start, Cycle lim)
+{
+    const std::size_t n = cores_.size();
+    chargeLogs_.resize(n);
+    pauseHeap_.clear();
+    Cycle maxLast = start;
+
+    const auto note = [&](std::size_t i, const Core::AheadResult &r) {
+        if (r.ticked && r.last > maxLast)
+            maxLast = r.last;
+        if (r.paused) {
+            pauseHeap_.emplace_back(r.next, i);
+            std::push_heap(pauseHeap_.begin(), pauseHeap_.end(),
+                           std::greater<>{});
+        } else {
+            nextAt_[i] = r.next;
+        }
+    };
+
+    // Phase 1: each participating core runs its core-local events in
+    // [nextAt_, lim) back to back, pausing before the first op that
+    // would touch the shared memory system.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Cycle e = nextAt_[i];
+        if (e >= lim) // includes kNever
+            continue;
+        ledger_.beginCapture(&chargeLogs_[i], start);
+        note(i, cores_[i]->runAhead(e, lim));
+    }
+
+    // Phase 2: execute pending shared-memory ops in global (cycle,
+    // core index) order — the order in-order stepping would use — then
+    // let each core run ahead again until its next shared op.  Keys
+    // pushed while draining are always larger than the key popped, so
+    // the pop sequence stays globally sorted.
+    while (!pauseHeap_.empty()) {
+        std::pop_heap(pauseHeap_.begin(), pauseHeap_.end(),
+                      std::greater<>{});
+        const auto [c, i] = pauseHeap_.back();
+        pauseHeap_.pop_back();
+        ledger_.beginCapture(&chargeLogs_[i], start);
+        note(i, cores_[i]->resumeShared(c, lim));
+    }
+    ledger_.endCapture();
+
+    // Phase 3: replay the captured charges cycle-major, core-minor —
+    // the exact add order of in-order stepping, so the ledger's
+    // floating-point sums are bit-identical to the legacy path.  Each
+    // core's log is already sorted by cycle; this walks the distinct
+    // charge cycles (as offsets from `start`), skipping gaps.
+    ledger_.replayCaptures(
+        chargeLogs_, logPos_, [this](std::size_t i, const power::RailEnergy &e) {
+            cores_[i]->addCapturedCoreEnergy(e);
+        });
+    for (auto &log : chargeLogs_)
+        log.clear();
+    return maxLast;
 }
 
 std::uint64_t

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "arch/core.hh"
@@ -57,6 +58,18 @@ class PitonChip
      *  threads halt, whichever is first. */
     RunResult run(Cycle max_cycles);
 
+    /**
+     * Select the stepping engine.  The fast path (default) is the
+     * event-driven scheduler: an indexed per-core next-event cache so
+     * halted/stalled cores are never touched, plus batched core-local
+     * issue when a single core owns the event window.  The legacy path
+     * steps every core every visited cycle; both produce bit-identical
+     * architectural state and energy ledgers (tests/
+     * test_fastpath_equiv.cc).
+     */
+    void setFastPath(bool enabled) { fastPath_ = enabled; }
+    bool fastPath() const { return fastPath_; }
+
     Cycle now() const { return now_; }
 
     const power::EnergyLedger &ledger() const { return ledger_; }
@@ -90,6 +103,26 @@ class PitonChip
     std::vector<std::uint64_t> tileInsts() const;
 
   private:
+    RunResult runLegacy(Cycle max_cycles);
+    RunResult runFast(Cycle max_cycles);
+
+    /**
+     * Core-major run-ahead round over [start, lim): phase 1 lets each
+     * core execute its core-local events in one contiguous slice
+     * (charges captured per core), phase 2 executes the shared-memory
+     * ops the slices paused at in global (cycle, core) order, phase 3
+     * replays the captured charges in that same order so the ledger's
+     * floating-point sums match in-order stepping bit for bit.
+     * Returns the last cycle any core ticked (>= start).
+     */
+    Cycle runAheadRound(Cycle start, Cycle lim);
+
+    /** Cycles per run-ahead round: big enough to amortize the round's
+     *  setup and keep each core's slice long (hot state, trained
+     *  branches), small enough that the charge logs stay cache
+     *  resident (25 cores x 64 cycles x ~2 charges x 40 B ~ 200 KB). */
+    static constexpr Cycle kRoundCycles = 64;
+
     config::PitonParams params_;
     chip::ChipInstance instance_;
     const power::EnergyModel &energy_;
@@ -98,6 +131,16 @@ class PitonChip
     std::unique_ptr<MemorySystem> mem_;
     std::vector<std::unique_ptr<Core>> cores_;
     Cycle now_ = 0;
+    bool fastPath_ = true;
+    /** Event scheduler: cached raw next-event cycle per core (kNever
+     *  when idle/halted), refreshed from core return values. */
+    std::vector<Cycle> nextAt_;
+    /** Run-ahead round scratch (persistent to keep capacity): per-core
+     *  captured-charge logs, replay cursors, and the pending
+     *  shared-op min-heap keyed (cycle, core index). */
+    std::vector<std::vector<power::CapturedCharge>> chargeLogs_;
+    std::vector<std::size_t> logPos_;
+    std::vector<std::pair<Cycle, std::size_t>> pauseHeap_;
 };
 
 } // namespace piton::arch

@@ -1,165 +1,12 @@
 #include "isa/alu.hh"
 
-#include <bit>
-#include <cstdint>
-#include <limits>
-
-#include "common/logging.hh"
-
 namespace piton::isa
 {
-
-namespace
-{
-
-RegVal
-fpBinD(Opcode op, RegVal a_bits, RegVal b_bits)
-{
-    const double a = std::bit_cast<double>(a_bits);
-    const double b = std::bit_cast<double>(b_bits);
-    double r = 0.0;
-    switch (op) {
-      case Opcode::Faddd: r = a + b; break;
-      case Opcode::Fmuld: r = a * b; break;
-      case Opcode::Fdivd: r = a / b; break;
-      default:
-        piton_panic("fpBinD: bad opcode");
-    }
-    return std::bit_cast<RegVal>(r);
-}
-
-RegVal
-fpBinS(Opcode op, RegVal a_bits, RegVal b_bits)
-{
-    // Single-precision values live in the low 32 bits of the register.
-    const float a = std::bit_cast<float>(static_cast<std::uint32_t>(a_bits));
-    const float b = std::bit_cast<float>(static_cast<std::uint32_t>(b_bits));
-    float r = 0.0f;
-    switch (op) {
-      case Opcode::Fadds: r = a + b; break;
-      case Opcode::Fmuls: r = a * b; break;
-      case Opcode::Fdivs: r = a / b; break;
-      default:
-        piton_panic("fpBinS: bad opcode");
-    }
-    return static_cast<RegVal>(std::bit_cast<std::uint32_t>(r));
-}
-
-std::int64_t
-signedDiv(std::int64_t a, std::int64_t b)
-{
-    // SPARC traps on divide-by-zero; the simulator defines the result as
-    // zero so stress loops with arbitrary operands remain runnable.
-    if (b == 0)
-        return 0;
-    if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
-        return a; // wraps, matching two's-complement hardware
-    return a / b;
-}
-
-} // namespace
 
 AluResult
 evalAlu(const Instruction &inst, RegVal rs1, RegVal rs2, RegVal hwid)
 {
-    AluResult out;
-    switch (inst.op) {
-      case Opcode::Nop:
-      case Opcode::Halt:
-        return out;
-      case Opcode::And:
-        out.value = rs1 & rs2;
-        out.writesRd = true;
-        return out;
-      case Opcode::Or:
-        out.value = rs1 | rs2;
-        out.writesRd = true;
-        return out;
-      case Opcode::Xor:
-        out.value = rs1 ^ rs2;
-        out.writesRd = true;
-        return out;
-      case Opcode::Add:
-        out.value = rs1 + rs2;
-        out.writesRd = true;
-        return out;
-      case Opcode::Sub:
-        out.value = rs1 - rs2;
-        out.writesRd = true;
-        return out;
-      case Opcode::Sll:
-        out.value = rs1 << (rs2 & 63);
-        out.writesRd = true;
-        return out;
-      case Opcode::Srl:
-        out.value = rs1 >> (rs2 & 63);
-        out.writesRd = true;
-        return out;
-      case Opcode::Mulx:
-        out.value = rs1 * rs2;
-        out.writesRd = true;
-        return out;
-      case Opcode::Sdivx:
-        out.value = static_cast<RegVal>(
-            signedDiv(static_cast<std::int64_t>(rs1),
-                      static_cast<std::int64_t>(rs2)));
-        out.writesRd = true;
-        return out;
-      case Opcode::Faddd:
-      case Opcode::Fmuld:
-      case Opcode::Fdivd:
-        out.value = fpBinD(inst.op, rs1, rs2);
-        out.writesRd = true;
-        return out;
-      case Opcode::Fadds:
-      case Opcode::Fmuls:
-      case Opcode::Fdivs:
-        out.value = fpBinS(inst.op, rs1, rs2);
-        out.writesRd = true;
-        return out;
-      case Opcode::Cmp: {
-        const RegVal diff = rs1 - rs2;
-        out.setsCc = true;
-        out.cc.zero = diff == 0;
-        out.cc.negative = static_cast<std::int64_t>(diff) < 0;
-        return out;
-      }
-      case Opcode::SetImm:
-        out.value = static_cast<RegVal>(inst.imm);
-        out.writesRd = true;
-        return out;
-      case Opcode::Mov:
-        out.value = rs1;
-        out.writesRd = true;
-        return out;
-      case Opcode::Rdhwid:
-        out.value = hwid;
-        out.writesRd = true;
-        return out;
-      default:
-        piton_panic("evalAlu: opcode %s is not an ALU op",
-                    mnemonic(inst.op));
-    }
-}
-
-bool
-branchTaken(Opcode op, CondCodes cc)
-{
-    switch (op) {
-      case Opcode::Beq:
-        return cc.zero;
-      case Opcode::Bne:
-        return !cc.zero;
-      case Opcode::Bg:
-        return !cc.zero && !cc.negative;
-      case Opcode::Bl:
-        return cc.negative;
-      case Opcode::Ba:
-        return true;
-      default:
-        piton_panic("branchTaken: opcode %s is not a branch",
-                    mnemonic(op));
-    }
+    return evalAluOp(inst.op, inst.imm, rs1, rs2, hwid);
 }
 
 } // namespace piton::isa

@@ -21,6 +21,46 @@ checkReg(int r)
 
 } // namespace
 
+IssueKind
+issueKindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldx: return IssueKind::Load;
+      case Opcode::Stx: return IssueKind::Store;
+      case Opcode::Casx: return IssueKind::Cas;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Bg:
+      case Opcode::Bl:
+      case Opcode::Ba: return IssueKind::Branch;
+      case Opcode::Halt: return IssueKind::Halt;
+      default: return IssueKind::Alu;
+    }
+}
+
+void
+Program::predecode()
+{
+    const LatencyTable lat;
+    decoded_.resize(insts_.size());
+    for (std::uint32_t i = 0; i < size(); ++i) {
+        const Instruction &inst = insts_[i];
+        DecodedInst &d = decoded_[i];
+        d.pc = pcOf(i);
+        d.cls = classOf(inst.op);
+        d.latency = lat.latencyOf(d.cls);
+        d.kind = issueKindOf(inst.op);
+        d.op = inst.op;
+        d.imm = inst.imm;
+        d.target = inst.target;
+        d.rd = inst.rd;
+        d.rs1 = inst.rs1;
+        d.rs2 = inst.rs2;
+        d.useImm = inst.useImm;
+        d.fp = inst.fp;
+    }
+}
+
 ProgramBuilder &
 ProgramBuilder::emit(Instruction inst)
 {

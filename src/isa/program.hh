@@ -26,6 +26,45 @@ namespace piton::isa
 /** Bytes occupied by one instruction in the modelled I-memory. */
 constexpr Addr kInstBytes = 4;
 
+/** Dispatch groups the issue engine switches on (fast-path decode). */
+enum class IssueKind : std::uint8_t
+{
+    Alu,    ///< ALU / FP / pseudo ops (the issue engine's default case)
+    Load,   ///< ldx
+    Store,  ///< stx
+    Cas,    ///< casx
+    Branch, ///< beq/bne/bg/bl/ba
+    Halt,
+};
+
+/**
+ * Per-instruction record predecoded once at Program construction, so
+ * the issue engine never re-derives the energy class, issue latency,
+ * PC, or dispatch group on the per-instruction hot path.  Latencies
+ * come from the default LatencyTable (Table VI), the same table every
+ * core uses.  The record also mirrors the operand fields of the source
+ * Instruction so a single 32-byte stream feeds the issue engine.
+ */
+struct DecodedInst
+{
+    std::int64_t imm = 0;                 ///< immediate / displacement
+    Addr pc = 0;                          ///< pcOf(index)
+    std::uint32_t target = 0;             ///< branch target (index)
+    std::uint32_t latency = 1;            ///< LatencyTable::latencyOf(cls)
+    InstClass cls = InstClass::Nop;       ///< classOf(op)
+    IssueKind kind = IssueKind::Alu;
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    bool useImm = false;                  ///< operand-selector flags
+    bool fp = false;
+};
+static_assert(sizeof(DecodedInst) == 32, "keep the issue stream compact");
+
+/** Dispatch group of an opcode (predecode; see IssueKind). */
+IssueKind issueKindOf(Opcode op);
+
 /** An executable program image. */
 class Program
 {
@@ -33,9 +72,16 @@ class Program
     Program() = default;
     explicit Program(std::vector<Instruction> insts, Addr base = 0x10000)
         : insts_(std::move(insts)), base_(base)
-    {}
+    {
+        predecode();
+    }
 
     const Instruction &at(std::uint32_t index) const { return insts_[index]; }
+    /** Predecoded fast-path record for an instruction index. */
+    const DecodedInst &decoded(std::uint32_t index) const
+    {
+        return decoded_[index];
+    }
     std::uint32_t size() const
     {
         return static_cast<std::uint32_t>(insts_.size());
@@ -53,7 +99,10 @@ class Program
     const std::vector<Instruction> &instructions() const { return insts_; }
 
   private:
+    void predecode();
+
     std::vector<Instruction> insts_;
+    std::vector<DecodedInst> decoded_;
     Addr base_ = 0x10000;
 };
 

@@ -92,13 +92,34 @@ EnergyModel::setOperatingPoint(double vdd_v, double vcs_v)
     const double rc = vcs_v / params_.refVcsV;
     dynVdd_ = rv * rv;
     dynVcs_ = rc * rc;
+    rebuildCaches();
 }
 
-std::uint32_t
-EnergyModel::operandActivity(RegVal rs1, RegVal rs2)
+void
+EnergyModel::rebuildCaches()
 {
-    return static_cast<std::uint32_t>(std::popcount(rs1)
-                                      + std::popcount(rs2));
+    // Each entry is the original formula evaluated once, so memoized
+    // and uncached results stay byte-identical.
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(isa::InstClass::NumClasses); ++c) {
+        for (std::uint32_t a = 0; a < kActivityBuckets; ++a) {
+            instCache_[c * kActivityBuckets + a] =
+                instructionEnergyUncached(static_cast<isa::InstClass>(c), a);
+        }
+    }
+    l15E_ = split(params_.l15AccessPj, params_.cacheVcsFrac);
+    l2E_[0] = split(params_.l2AccessPj, params_.cacheVcsFrac);
+    l2E_[1] =
+        split(params_.l2AccessPj + params_.dirAccessPj, params_.cacheVcsFrac);
+    chipBridgeE_ = split(params_.chipBridgeFlitPj, 0.05);
+    vioBeatE_ = RailEnergy{};
+    vioBeatE_.add(Rail::Vio, pjToJ(params_.vioBeatPj));
+    rollbackE_ = split(params_.rollbackPj, 0.2);
+    stallE_ = split(params_.stallCyclePj, 0.2);
+    offChipMissE_ = split(params_.offChipMissPj, 0.3);
+    // RF bank/context switching: partly SRAM (VCS).
+    threadSwitchE_ = split(params_.threadSwitchPj, 0.35);
+    idleE_ = split(params_.idleCyclePjPerTile, params_.idleVcsFrac);
 }
 
 RailEnergy
@@ -111,27 +132,13 @@ EnergyModel::split(double pj, double vcs_frac) const
 }
 
 RailEnergy
-EnergyModel::instructionEnergy(isa::InstClass cls,
-                               std::uint32_t activity_bits) const
+EnergyModel::instructionEnergyUncached(isa::InstClass cls,
+                                       std::uint32_t activity_bits) const
 {
     const auto &ce = params_.classEnergy[static_cast<std::size_t>(cls)];
     const double frac = static_cast<double>(activity_bits) / 128.0;
     const double pj = ce.minPj + (ce.maxPj - ce.minPj) * frac;
     return split(pj, ce.vcsFrac);
-}
-
-RailEnergy
-EnergyModel::l15AccessEnergy() const
-{
-    return split(params_.l15AccessPj, params_.cacheVcsFrac);
-}
-
-RailEnergy
-EnergyModel::l2AccessEnergy(bool with_directory) const
-{
-    const double pj =
-        params_.l2AccessPj + (with_directory ? params_.dirAccessPj : 0.0);
-    return split(pj, params_.cacheVcsFrac);
 }
 
 std::uint32_t
@@ -153,51 +160,6 @@ EnergyModel::nocHopEnergy(std::uint32_t toggled_bits,
                       + params_.nocLinkBitTogglePj * toggled_bits
                       + params_.nocCouplingPj * opposing_pairs;
     return split(pj, params_.nocVcsFrac);
-}
-
-RailEnergy
-EnergyModel::chipBridgeFlitEnergy() const
-{
-    return split(params_.chipBridgeFlitPj, 0.05);
-}
-
-RailEnergy
-EnergyModel::vioBeatEnergy() const
-{
-    RailEnergy e;
-    e.add(Rail::Vio, pjToJ(params_.vioBeatPj));
-    return e;
-}
-
-RailEnergy
-EnergyModel::rollbackEnergy() const
-{
-    return split(params_.rollbackPj, 0.2);
-}
-
-RailEnergy
-EnergyModel::stallCycleEnergy() const
-{
-    return split(params_.stallCyclePj, 0.2);
-}
-
-RailEnergy
-EnergyModel::offChipMissEnergy() const
-{
-    return split(params_.offChipMissPj, 0.3);
-}
-
-RailEnergy
-EnergyModel::threadSwitchEnergy() const
-{
-    // RF bank/context switching: partly SRAM (VCS).
-    return split(params_.threadSwitchPj, 0.35);
-}
-
-RailEnergy
-EnergyModel::idleCycleEnergy() const
-{
-    return split(params_.idleCyclePjPerTile, params_.idleVcsFrac);
 }
 
 RailEnergy

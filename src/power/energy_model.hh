@@ -24,7 +24,9 @@
 #define PITON_POWER_ENERGY_MODEL_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/instruction.hh"
@@ -137,9 +139,15 @@ struct EnergyParams
 EnergyParams defaultEnergyParams();
 
 /**
- * Stateless per-event energy calculator.  The architecture simulator
- * calls one method per micro-architectural event; all voltage scaling is
- * applied here so sweeps only change the operating point.
+ * Per-event energy calculator.  The architecture simulator calls one
+ * method per micro-architectural event; all voltage scaling is applied
+ * here so sweeps only change the operating point.
+ *
+ * The per-instruction and fixed per-event energies are memoized: a
+ * flat (class, operand-activity bucket) cache and one precomputed
+ * RailEnergy per fixed event, rebuilt eagerly by setOperatingPoint.
+ * Every cached entry is produced by the original formula, so cached
+ * and uncached results are byte-identical (tests/test_power.cc).
  */
 class EnergyModel
 {
@@ -158,14 +166,36 @@ class EnergyModel
      * Hamming weight of both 64-bit sources, in [0, 128].  The paper's
      * min/random/max operand experiment maps to 0 / ~64 / 128.
      */
-    static std::uint32_t operandActivity(RegVal rs1, RegVal rs2);
+    static std::uint32_t
+    operandActivity(RegVal rs1, RegVal rs2)
+    {
+        return static_cast<std::uint32_t>(std::popcount(rs1)
+                                          + std::popcount(rs2));
+    }
+
+    /** Distinct operand-activity values: popcounts in [0, 128]. */
+    static constexpr std::uint32_t kActivityBuckets = 129;
 
     /** Execution energy (J) for one instruction, split across rails. */
-    RailEnergy instructionEnergy(isa::InstClass cls,
-                                 std::uint32_t activity_bits) const;
+    const RailEnergy &
+    instructionEnergy(isa::InstClass cls, std::uint32_t activity_bits) const
+    {
+        return instCache_[static_cast<std::size_t>(cls) * kActivityBuckets
+                          + activity_bits];
+    }
 
-    RailEnergy l15AccessEnergy() const;
-    RailEnergy l2AccessEnergy(bool with_directory = true) const;
+    /** Reference path of instructionEnergy, bypassing the memo cache
+     *  (the byte-identity guard in tests/test_power.cc compares the
+     *  two). */
+    RailEnergy instructionEnergyUncached(isa::InstClass cls,
+                                         std::uint32_t activity_bits) const;
+
+    const RailEnergy &l15AccessEnergy() const { return l15E_; }
+    const RailEnergy &
+    l2AccessEnergy(bool with_directory = true) const
+    {
+        return l2E_[with_directory ? 1 : 0];
+    }
 
     /**
      * One flit traversing one router hop with the given link toggles.
@@ -178,17 +208,17 @@ class EnergyModel
     /** Opposing-transition adjacency count between consecutive flits. */
     static std::uint32_t opposingPairs(RegVal prev, RegVal cur);
 
-    RailEnergy chipBridgeFlitEnergy() const;
+    const RailEnergy &chipBridgeFlitEnergy() const { return chipBridgeE_; }
     /** Off-chip pad energy for one 32-bit beat (VIO rail). */
-    RailEnergy vioBeatEnergy() const;
+    const RailEnergy &vioBeatEnergy() const { return vioBeatE_; }
 
-    RailEnergy rollbackEnergy() const;
-    RailEnergy stallCycleEnergy() const;
-    RailEnergy offChipMissEnergy() const;
-    RailEnergy threadSwitchEnergy() const;
+    const RailEnergy &rollbackEnergy() const { return rollbackE_; }
+    const RailEnergy &stallCycleEnergy() const { return stallE_; }
+    const RailEnergy &offChipMissEnergy() const { return offChipMissE_; }
+    const RailEnergy &threadSwitchEnergy() const { return threadSwitchE_; }
 
     /** Clock-tree (idle) dynamic energy for one cycle of one tile. */
-    RailEnergy idleCycleEnergy() const;
+    const RailEnergy &idleCycleEnergy() const { return idleE_; }
 
     /** Leakage power (W) per rail at the operating point and given die
      *  temperature; leak_factor is the chip's process-variation knob. */
@@ -204,14 +234,62 @@ class EnergyModel
     double dynScaleVcs() const { return dynVcs_; }
 
   private:
+    /** Recompute every memoized event energy (operating-point change). */
+    void rebuildCaches();
+
     EnergyParams params_;
     double vddV_;
     double vcsV_;
     double dynVdd_ = 1.0;
     double dynVcs_ = 1.0;
 
+    /** Flat (class, activity-bucket) memo of instructionEnergy. */
+    std::array<RailEnergy,
+               static_cast<std::size_t>(isa::InstClass::NumClasses)
+                   * kActivityBuckets>
+        instCache_{};
+    RailEnergy l15E_;
+    std::array<RailEnergy, 2> l2E_; ///< [0] without, [1] with directory
+    RailEnergy chipBridgeE_;
+    RailEnergy vioBeatE_;
+    RailEnergy rollbackE_;
+    RailEnergy stallE_;
+    RailEnergy offChipMissE_;
+    RailEnergy threadSwitchE_;
+    RailEnergy idleE_;
+
     RailEnergy split(double pj, double vcs_frac) const;
 };
+
+/**
+ * One charge diverted by an EnergyLedger capture (see beginCapture):
+ * the cycle it belongs to (as an offset from the capture base, keeping
+ * the entry at 32 bytes) plus the exact (category, energy) arguments
+ * of the intercepted add().  Replaying the captures in (cycle, actor)
+ * order reproduces the accumulator sums bit for bit, since each replay
+ * performs the identical double additions in the identical order.
+ */
+struct CapturedCharge
+{
+    RailEnergy e;
+    std::uint32_t cycleDelta = 0; ///< cycle - capture base
+    std::uint8_t cat = 0;         ///< Category, plus kCapturedCoreBit
+};
+static_assert(sizeof(CapturedCharge) == 32,
+              "capture entries stream through caches on the hot path");
+
+/**
+ * Tag bit in CapturedCharge::cat: the charge also belongs to the
+ * issuing core's per-tile accumulator (Core::coreEnergy).  Deferring
+ * that side sum to replay keeps two serial FP adds off the issue loop;
+ * the per-tile accumulator only ever receives its own core's charges,
+ * whose relative order the per-core log preserves, so the deferred
+ * adds produce bit-identical sums.
+ */
+inline constexpr std::uint8_t kCapturedCoreBit = 0x80;
+static_assert(static_cast<std::size_t>(Category::NumCategories)
+                  <= kCapturedCoreBit,
+              "category must fit beside the core tag bit");
 
 /** Per-category, per-rail energy accumulator. */
 class EnergyLedger
@@ -220,8 +298,103 @@ class EnergyLedger
     void
     add(Category c, const RailEnergy &e)
     {
+        if (capture_) {
+            capture_->push_back(
+                {e, static_cast<std::uint32_t>(captureCycle_ - captureBase_),
+                 static_cast<std::uint8_t>(c)});
+            return;
+        }
         byCat_[static_cast<std::size_t>(c)] += e;
         total_ += e;
+    }
+
+    /**
+     * add() for charges that also feed the issuing core's per-tile
+     * accumulator.  Returns true when the charge was captured — the
+     * caller must then *not* accumulate its per-tile share (replay
+     * applies it, see kCapturedCoreBit); false means the charge was
+     * accumulated directly and the caller adds its share as usual.
+     */
+    bool
+    addCore(Category c, const RailEnergy &e)
+    {
+        if (capture_) {
+            capture_->push_back(
+                {e, static_cast<std::uint32_t>(captureCycle_ - captureBase_),
+                 static_cast<std::uint8_t>(
+                     static_cast<std::uint8_t>(c) | kCapturedCoreBit)});
+            return true;
+        }
+        byCat_[static_cast<std::size_t>(c)] += e;
+        total_ += e;
+        return false;
+    }
+
+    /**
+     * Divert subsequent add() calls into `log` instead of accumulating.
+     * The chip's run-ahead scheduler uses this to let cores execute
+     * out of global cycle order while the ledger's floating-point add
+     * order — which is observable through the non-associative sums —
+     * is reconstructed by replaying the logs in (cycle, core) order.
+     * Capture stays active until endCapture(); entries are tagged
+     * relative to `base` with the cycle the executing core last set
+     * via setCaptureCycle().
+     */
+    void
+    beginCapture(std::vector<CapturedCharge> *log, Cycle base)
+    {
+        capture_ = log;
+        captureBase_ = base;
+    }
+    void setCaptureCycle(Cycle c) { captureCycle_ = c; }
+    void endCapture() { capture_ = nullptr; }
+    bool capturing() const { return capture_ != nullptr; }
+
+    /**
+     * Replay a round's capture logs cycle-major, actor-minor — the
+     * exact add order in-order stepping would have used, so the
+     * accumulator sums come out bit-identical.  `logs` is one sorted
+     * log per actor (ascending cycleDelta); ties replay in actor
+     * order.  `pos` is scratch, resized and reset here.  Entries
+     * tagged kCapturedCoreBit are also handed to `coreSink(actor, e)`
+     * for the actor's own accumulator.
+     *
+     * Defined inline so the running total stays in registers across
+     * the whole walk instead of round-tripping through memory on
+     * every entry (the walk is the fast path's second-hottest loop).
+     */
+    template <typename Logs, typename CoreSink>
+    void
+    replayCaptures(const Logs &logs, std::vector<std::size_t> &pos,
+                   CoreSink &&coreSink)
+    {
+        const std::size_t n = logs.size();
+        pos.assign(n, 0);
+        RailEnergy tot = total_; // register-resident chain
+        constexpr std::uint32_t kNoDelta = ~std::uint32_t{0};
+        std::uint32_t d = 0;
+        for (;;) {
+            std::uint32_t next_d = kNoDelta;
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto &log = logs[i];
+                std::size_t &p = pos[i];
+                while (p < log.size() && log[p].cycleDelta == d) {
+                    const std::uint8_t cat = log[p].cat;
+                    const RailEnergy &e = log[p].e;
+                    byCat_[cat & (kCapturedCoreBit - 1)] += e;
+                    tot += e;
+                    if (cat & kCapturedCoreBit)
+                        coreSink(i, e);
+                    ++p;
+                }
+                if (p < log.size() && log[p].cycleDelta < next_d)
+                    next_d = log[p].cycleDelta;
+            }
+            if (next_d == kNoDelta)
+                break;
+            d = next_d;
+        }
+        total_ = tot;
     }
 
     const RailEnergy &total() const { return total_; }
@@ -236,6 +409,9 @@ class EnergyLedger
   private:
     std::array<RailEnergy, kNumCategories> byCat_{};
     RailEnergy total_;
+    std::vector<CapturedCharge> *capture_ = nullptr;
+    Cycle captureCycle_ = 0;
+    Cycle captureBase_ = 0;
 };
 
 } // namespace piton::power

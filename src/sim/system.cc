@@ -34,6 +34,7 @@ System::System(SystemOptions opts)
     energy_.setOperatingPoint(opts_.vddV, opts_.vcsV);
     chip_ = std::make_unique<arch::PitonChip>(opts_.cfg.piton, instance_,
                                               energy_, opts_.seed);
+    chip_->setFastPath(opts_.fastPath);
     board_.setSupply(power::Rail::Vdd, opts_.vddV);
     board_.setSupply(power::Rail::Vcs, opts_.vcsV);
     board_.setSupply(power::Rail::Vio, opts_.vioV);

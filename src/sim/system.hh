@@ -54,6 +54,12 @@ struct SystemOptions
      *  at any value (see common/parallel.hh). */
     unsigned sweepThreads = 1;
 
+    /** Use the event-driven chip scheduler + batched core issue
+     *  (DESIGN.md §9).  false selects the legacy per-cycle reference
+     *  stepping; both produce bit-identical results (the escape hatch
+     *  exists for equivalence testing and debugging). */
+    bool fastPath = true;
+
     power::EnergyParams energyParams = power::defaultEnergyParams();
     thermal::ThermalParams thermalParams;
 };

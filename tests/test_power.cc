@@ -4,6 +4,8 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -26,6 +28,30 @@ TEST(EnergyModel, OperandActivityIsHammingWeight)
     EXPECT_EQ(EnergyModel::operandActivity(0xAAAAAAAAAAAAAAAAULL,
                                            0x5555555555555555ULL),
               64u);
+}
+
+TEST(EnergyModel, MemoizedInstructionEnergyIsByteIdentical)
+{
+    // The per-(class, activity-bucket) memo must return the exact bits
+    // the uncached computation produces — the ledger sums these values
+    // millions of times, so even a 1-ulp drift would be observable.
+    const EnergyModel m;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(InstClass::NumClasses); ++c) {
+        const auto cls = static_cast<InstClass>(c);
+        for (std::uint32_t act = 0; act < EnergyModel::kActivityBuckets;
+             ++act) {
+            const RailEnergy cached = m.instructionEnergy(cls, act);
+            const RailEnergy ref = m.instructionEnergyUncached(cls, act);
+            for (const Rail r : {Rail::Vdd, Rail::Vcs, Rail::Vio}) {
+                std::uint64_t a = 0, b = 0;
+                const double da = cached.get(r), db = ref.get(r);
+                std::memcpy(&a, &da, sizeof(a));
+                std::memcpy(&b, &db, sizeof(b));
+                ASSERT_EQ(a, b) << "class " << c << " activity " << act;
+            }
+        }
+    }
 }
 
 TEST(EnergyModel, OperandValuesChangeEpi)
