@@ -41,6 +41,14 @@ struct BenchArgs
     unsigned threads = 1;
     /** Telemetry output directory (--out); empty = no export. */
     std::string outDir;
+    /** Periodic checkpoint cadence in sample windows
+     *  (--checkpoint-every; 0 = disabled). */
+    std::uint32_t checkpointEvery = 0;
+    /** Checkpoint file to write (--checkpoint-out; empty = none). */
+    std::string checkpointOut;
+    /** Checkpoint file to resume from (--resume-from; empty = cold
+     *  start). */
+    std::string resumeFrom;
     /** Extra boolean flags seen (from the caller's allow-list). */
     std::vector<std::string> flags;
     /** Positional arguments, in order. */
@@ -66,7 +74,8 @@ usageError(const char *prog, const char *msg, const char *arg)
                  arg ? arg : "");
     std::fprintf(stderr,
                  "usage: %s [--samples N] [--threads N] [--out DIR]"
-                 " [extra flags] [positionals]\n",
+                 " [--checkpoint-every N] [--checkpoint-out FILE]"
+                 " [--resume-from FILE] [extra flags] [positionals]\n",
                  prog);
     std::exit(2);
 }
@@ -124,6 +133,20 @@ parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
             if (next == nullptr)
                 detail::usageError(prog, "missing value for", a);
             args.outDir = next;
+            ++i;
+        } else if (std::strcmp(a, "--checkpoint-every") == 0) {
+            args.checkpointEvery = static_cast<std::uint32_t>(
+                detail::numericValue(prog, a, next));
+            ++i;
+        } else if (std::strcmp(a, "--checkpoint-out") == 0) {
+            if (next == nullptr)
+                detail::usageError(prog, "missing value for", a);
+            args.checkpointOut = next;
+            ++i;
+        } else if (std::strcmp(a, "--resume-from") == 0) {
+            if (next == nullptr)
+                detail::usageError(prog, "missing value for", a);
+            args.resumeFrom = next;
             ++i;
         } else if (a[0] == '-') {
             bool known = false;

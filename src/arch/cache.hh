@@ -113,6 +113,29 @@ class CacheArray
     /** Drop all contents (power-on reset). */
     void flushAll();
 
+    /**
+     * Checkpoint hook.  The pad_ stagger is derived from the host
+     * allocation address and differs run to run, so only the
+     * sets_ * ways_ real lines are serialized (geometry is
+     * fingerprinted, not restored: the array must be constructed with
+     * the same CacheParams first).
+     */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar.ioExpect(sets_, "cache sets");
+        ar.ioExpect(ways_, "cache ways");
+        ar.ioExpect(lineBytes_, "cache line bytes");
+        const std::size_t n = static_cast<std::size_t>(sets_) * ways_;
+        for (std::size_t i = 0; i < n; ++i) {
+            CacheLine &cl = lines_[pad_ + i];
+            ar.io(cl.tag);
+            ar.ioEnum(cl.state, static_cast<Mesi>(4)); // one past Modified
+            ar.io(cl.lastUse);
+        }
+    }
+
   private:
     CacheLine *
     find(Addr addr)

@@ -74,6 +74,24 @@ class Chipset
     /** Mean extra cycles from jitter (for closed-form checks). */
     static constexpr double kMeanJitterCycles = 29.0;
 
+    /** Checkpoint hook: jitter RNG stream position plus counters. */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        Rng::Snapshot snap = rng_.snapshot();
+        for (auto &w : snap.s)
+            ar.io(w);
+        ar.io(snap.haveCached);
+        ar.io(snap.cached);
+        if (ar.loading())
+            rng_.restore(snap);
+        ar.io(stats_.requests);
+        ar.io(stats_.dramAccesses);
+        ar.io(stats_.vioBeats);
+        ar.io(stats_.bridgeFlits);
+    }
+
   private:
     void chargeCrossing(std::uint32_t flits);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "checkpoint/archive.hh"
+#include "checkpoint/program_table.hh"
 #include "common/logging.hh"
 
 namespace piton::arch
@@ -517,6 +519,81 @@ Core::issue(ThreadState &t, ThreadId tid, Cycle now)
         return;
       }
     }
+}
+
+void
+Core::serialize(ckpt::Archive &ar, const ckpt::ProgramTable &pt)
+{
+    ar.ioExpect(static_cast<std::uint32_t>(threads_.size()),
+                "threads per core");
+    for (auto &t : threads_) {
+        for (auto &r : t.regs)
+            ar.io(r);
+        for (auto &r : t.fregs)
+            ar.io(r);
+        ar.io(t.cc.zero);
+        ar.io(t.cc.negative);
+        pt.ioRef(ar, t.program);
+        ar.io(t.pc);
+        ckpt::Archive::check(
+            t.program == nullptr || t.pc < t.program->size(),
+            "thread pc out of range");
+        ar.ioEnum(t.status, static_cast<ThreadStatus>(3));
+        ckpt::Archive::check(
+            t.status == ThreadStatus::Idle || t.program != nullptr,
+            "non-idle thread without a program");
+        ar.io(t.readyAt);
+        ar.io(t.fetchLine);
+        if (ar.loading()) {
+            // Re-resolve the MRU fetch handle against the restored L1I
+            // (the caller serializes MemorySystem first).  A resident
+            // line yields the same filter hit the saved pointer would
+            // have revalidated to; an absent one falls back to the full
+            // lookup — exactly as a stale saved pointer would.
+            t.fetchRef = (t.program != nullptr && t.fetchLine != ~Addr{0})
+                             ? mem_.l1iLine(tile_, t.fetchLine)
+                             : nullptr;
+        }
+        ar.io(t.instsExecuted);
+        for (auto &c : t.classCounts)
+            ar.io(c);
+        ar.io(t.loadRollbacks);
+        ar.io(t.storeRollbacks);
+        ar.io(t.memStallCycles);
+    }
+
+    coreEnergy_.serialize(ar);
+    ar.io(lastIssued_);
+    ckpt::Archive::check(lastIssued_ < threads_.size(),
+                         "lastIssued out of range");
+    ar.io(execDrafting_);
+    ar.io(threadSwitches_);
+    ar.io(draftedInsts_);
+    for (auto &li : lastIssue_) {
+        pt.ioRef(ar, li.first);
+        ar.io(li.second);
+    }
+    if (ar.loading())
+        draftActive_ = false; // transient within one tick
+
+    // Store buffer: live completion cycles only, oldest first (the
+    // ring's head offset is not architectural state).
+    std::uint32_t live = sbCount_;
+    ar.io(live);
+    ckpt::Archive::check(live <= storeBuffer_.size(),
+                         "store buffer overflow");
+    if (ar.loading()) {
+        sbHead_ = 0;
+        sbCount_ = live;
+    }
+    for (std::uint32_t i = 0; i < live; ++i) {
+        Cycle &slot =
+            ar.saving()
+                ? storeBuffer_[(sbHead_ + i) % storeBuffer_.size()]
+                : storeBuffer_[i];
+        ar.io(slot);
+    }
+    ar.io(lastStoreDrain_);
 }
 
 } // namespace piton::arch

@@ -34,6 +34,12 @@
 #include "isa/program.hh"
 #include "power/energy_model.hh"
 
+namespace piton::ckpt
+{
+class Archive;
+class ProgramTable;
+}
+
 namespace piton::arch
 {
 
@@ -233,6 +239,16 @@ class Core
     using InstTraceHook = std::function<void(
         TileId, ThreadId, Cycle, Addr, const isa::Instruction &)>;
     void setTraceHook(InstTraceHook hook) { trace_ = std::move(hook); }
+
+    /**
+     * Checkpoint hook.  Program pointers go through `pt`; the caller
+     * must have restored the memory system first (the per-thread MRU
+     * fetch handle is re-resolved against the restored L1I).  The
+     * store-buffer ring is saved in normalized form (live entries from
+     * the head; restored with head 0), which is behaviourally identical
+     * — only the live range is ever observed.
+     */
+    void serialize(ckpt::Archive &ar, const ckpt::ProgramTable &pt);
 
   private:
     /** What a tickImpl call did. */

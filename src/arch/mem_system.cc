@@ -1,7 +1,9 @@
 #include "arch/mem_system.hh"
 
+#include <algorithm>
 #include <bit>
 
+#include "checkpoint/archive.hh"
 #include "common/logging.hh"
 
 namespace piton::arch
@@ -609,6 +611,85 @@ MemorySystem::flushAll()
         t.l2.flushAll();
     }
     directory_.clear();
+}
+
+namespace
+{
+
+/** Serialize an unordered_map in sorted-key order (the byte stream
+ *  must not depend on hash iteration order), with `io_value` doing the
+ *  per-entry value I/O. */
+template <typename Map, typename IoValue>
+void
+ioSortedMap(ckpt::Archive &ar, Map &map, std::uint64_t min_entry_bytes,
+            IoValue &&io_value)
+{
+    using Key = typename Map::key_type;
+    std::vector<Key> keys;
+    if (ar.saving()) {
+        keys.reserve(map.size());
+        for (const auto &kv : map)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+    }
+    const std::uint64_t n = ar.ioSize(keys.size(), min_entry_bytes);
+    if (ar.loading())
+        map.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Key key = ar.saving() ? keys[i] : Key{};
+        ar.io(key);
+        io_value(map[key]);
+    }
+}
+
+} // namespace
+
+void
+MemorySystem::serialize(ckpt::Archive &ar)
+{
+    ar.ioExpect(static_cast<std::uint32_t>(tiles_.size()), "tile count");
+    for (auto &tile : tiles_) {
+        tile.l1i.serialize(ar);
+        tile.l1d.serialize(ar);
+        tile.l15.serialize(ar);
+        tile.l2.serialize(ar);
+    }
+
+    ioSortedMap(ar, directory_, 8 + 4 + 1 + 4, [&](DirEntry &e) {
+        ar.io(e.sharers);
+        ar.io(e.owned);
+        ar.io(e.owner);
+        ckpt::Archive::check(e.owner < tiles_.size(),
+                             "directory owner out of range");
+    });
+    ioSortedMap(ar, atomicBusyUntil_, 8 + 8,
+                [&](Cycle &busy) { ar.io(busy); });
+
+    ar.ioEnum(mapping_, static_cast<config::LineToSliceMapping>(3));
+    std::uint64_t nd = ar.ioSize(domains_.size(), 8 + 8 + 4);
+    if (ar.loading())
+        domains_.resize(static_cast<std::size_t>(nd));
+    for (auto &d : domains_) {
+        ar.io(d.base);
+        ar.io(d.size);
+        ar.io(d.tileMask);
+    }
+
+    ar.io(stats_.loads);
+    ar.io(stats_.stores);
+    ar.io(stats_.atomics);
+    ar.io(stats_.l1Hits);
+    ar.io(stats_.l15Hits);
+    ar.io(stats_.localL2Hits);
+    ar.io(stats_.remoteL2Hits);
+    ar.io(stats_.offChipMisses);
+    ar.io(stats_.ifetchMisses);
+    ar.io(stats_.invalidationsSent);
+    ar.io(stats_.writebacks);
+    ar.io(stats_.upgrades);
+
+    noc_.serialize(ar);
+    chipset_.serialize(ar);
 }
 
 } // namespace piton::arch

@@ -32,6 +32,11 @@
 #include "config/piton_params.hh"
 #include "power/energy_model.hh"
 
+namespace piton::ckpt
+{
+class Archive;
+}
+
 namespace piton::arch
 {
 
@@ -166,6 +171,10 @@ class MemorySystem
 
     /** Drop all cached state (power-on reset). */
     void flushAll();
+
+    /** Checkpoint hook: caches, directory, atomic serialization state,
+     *  NoC, chipset, slice-mapping configuration, and counters. */
+    void serialize(ckpt::Archive &ar);
 
     // ---- diagnostic probes (tests, tools) ----------------------------
 

@@ -12,6 +12,7 @@
 #ifndef PITON_ARCH_MEMORY_HH
 #define PITON_ARCH_MEMORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -39,6 +40,35 @@ class MainMemory
 
     /** Number of pages currently allocated (for tests/diagnostics). */
     std::size_t pageCount() const { return pages_.size(); }
+
+    /** Checkpoint hook: pages in sorted-key order, so the byte stream
+     *  is independent of unordered_map iteration order. */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        constexpr std::uint64_t kWords = kPageBytes / 8;
+        std::vector<Addr> keys;
+        if (ar.saving()) {
+            keys.reserve(pages_.size());
+            for (const auto &kv : pages_)
+                keys.push_back(kv.first);
+            std::sort(keys.begin(), keys.end());
+        }
+        std::uint64_t n = ar.ioSize(keys.size(), 8 + kWords * 8);
+        if (ar.loading())
+            pages_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Addr key = ar.saving() ? keys[i] : 0;
+            ar.io(key);
+            Page &page = pages_[key]; // load: creates; save: exists
+            if (ar.loading())
+                page.resize(kWords);
+            Ar::check(page.size() == kWords, "bad page size");
+            for (auto &w : page)
+                ar.io(w);
+        }
+    }
 
   private:
     using Page = std::vector<RegVal>; // kPageBytes / 8 words

@@ -15,6 +15,7 @@
 #ifndef PITON_ARCH_NOC_HH
 #define PITON_ARCH_NOC_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -121,6 +122,34 @@ class NocNetwork
         stats_ = NocStats{};
         if (!preserve_link_state)
             linkState_.clear();
+    }
+
+    /** Checkpoint hook: per-link latched flit values (link toggle
+     *  energy depends on them) in sorted-key order, plus counters. */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        std::vector<std::uint64_t> keys;
+        if (ar.saving()) {
+            keys.reserve(linkState_.size());
+            for (const auto &kv : linkState_)
+                keys.push_back(kv.first);
+            std::sort(keys.begin(), keys.end());
+        }
+        std::uint64_t n = ar.ioSize(keys.size(), 16);
+        if (ar.loading())
+            linkState_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t key = ar.saving() ? keys[i] : 0;
+            ar.io(key);
+            RegVal &last = linkState_[key];
+            ar.io(last);
+        }
+        ar.io(stats_.packets);
+        ar.io(stats_.flits);
+        ar.io(stats_.flitHops);
+        ar.io(stats_.toggledBits);
     }
 
   private:

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
+#include "checkpoint/archive.hh"
+#include "checkpoint/program_table.hh"
 #include "common/logging.hh"
 
 namespace piton::arch
@@ -344,6 +347,89 @@ PitonChip::activeThreads() const
         for (ThreadId t = 0; t < c->threadCount(); ++t)
             n += (c->thread(t).status == ThreadStatus::Ready);
     return n;
+}
+
+void
+PitonChip::serialize(ckpt::Archive &ar)
+{
+    ar.beginSection("chip.meta");
+    ar.ioExpect(params_.tileCount, "tile count");
+    ar.ioExpect(params_.threadsPerCore, "threads per core");
+    ar.ioExpect(params_.storeBufferEntries, "store buffer entries");
+    ar.io(now_);
+    ar.endSection();
+
+    // Program images first: cores serialize pointer fields through the
+    // table.  Registration order is deterministic (tile-major,
+    // thread-minor), so save and load agree on ids.
+    ckpt::ProgramTable pt;
+    ar.beginSection("chip.programs");
+    if (ar.saving()) {
+        for (const auto &core : cores_)
+            for (ThreadId t = 0; t < core->threadCount(); ++t)
+                pt.add(core->thread(t).program);
+    }
+    std::vector<std::unique_ptr<isa::Program>> restored;
+    pt.serialize(ar, restored);
+    ar.endSection();
+    if (ar.loading()) {
+        // Adopt the images immediately — and keep any previously
+        // restored ones — so a CheckpointError thrown by a later
+        // section can never leave a thread pointing at freed memory
+        // (a failed restore leaves the chip inconsistent, but never
+        // dangling).
+        for (auto &p : restored)
+            restoredPrograms_.push_back(std::move(p));
+    }
+
+    ar.beginSection("chip.ledger");
+    ledger_.serialize(ar);
+    ar.endSection();
+
+    ar.beginSection("chip.memory");
+    memory_.serialize(ar);
+    ar.endSection();
+
+    ar.beginSection("chip.mem");
+    mem_->serialize(ar);
+    ar.endSection();
+
+    // Cores last: the fetch-filter handles re-resolve against the
+    // restored L1I arrays.
+    ar.beginSection("chip.cores");
+    for (auto &core : cores_)
+        core->serialize(ar, pt);
+    ar.endSection();
+
+    // nextAt_ and the run-ahead scratch are rebuilt on every run()
+    // entry; they carry no cross-run state.
+}
+
+std::vector<std::uint8_t>
+PitonChip::saveBytes()
+{
+    ckpt::Archive ar = ckpt::Archive::forSave();
+    serialize(ar);
+    return ar.finish();
+}
+
+void
+PitonChip::restoreBytes(const std::vector<std::uint8_t> &bytes)
+{
+    ckpt::Archive ar = ckpt::Archive::forLoad(bytes);
+    serialize(ar);
+}
+
+void
+PitonChip::save(const std::string &path)
+{
+    ckpt::writeFile(path, saveBytes());
+}
+
+void
+PitonChip::restore(const std::string &path)
+{
+    restoreBytes(ckpt::readFile(path));
 }
 
 } // namespace piton::arch

@@ -13,7 +13,9 @@
 #define PITON_ARCH_PITON_CHIP_HH
 
 #include <array>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -102,6 +104,27 @@ class PitonChip
     /** Per-tile cumulative retired-instruction counts. */
     std::vector<std::uint64_t> tileInsts() const;
 
+    // ---- checkpointing (DESIGN.md §10) -------------------------------
+
+    /**
+     * Serialize all chip state into/out of an archive, as a group of
+     * "chip.*" sections.  Must be called between run() calls (never
+     * mid-round; the ledger enforces no capture is in flight).  On
+     * load, restored program images are owned by the chip and stay
+     * alive for the lifetime of the restored threads.  The chip must
+     * be constructed with the same PitonParams and ChipInstance; the
+     * key identity knobs are fingerprinted and mismatches throw
+     * ckpt::CheckpointError.
+     */
+    void serialize(ckpt::Archive &ar);
+
+    /** Standalone chip-level checkpoint (System adds board/thermal/
+     *  telemetry sections around the same chip payload). */
+    std::vector<std::uint8_t> saveBytes();
+    void restoreBytes(const std::vector<std::uint8_t> &bytes);
+    void save(const std::string &path);
+    void restore(const std::string &path);
+
   private:
     RunResult runLegacy(Cycle max_cycles);
     RunResult runFast(Cycle max_cycles);
@@ -130,6 +153,9 @@ class PitonChip
     MainMemory memory_;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /** Program images reconstructed by restore(); threads point into
+     *  these until the caller loads something else. */
+    std::vector<std::unique_ptr<isa::Program>> restoredPrograms_;
     Cycle now_ = 0;
     bool fastPath_ = true;
     /** Event scheduler: cached raw next-event cycle per core (kNever

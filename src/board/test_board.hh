@@ -82,6 +82,35 @@ class TestBoard
      */
     RailSample sampleRail(power::Rail r, double true_w);
 
+    /** Checkpoint hook: supply configuration, monitor parameters, and
+     *  the measurement-noise RNG stream position (so a resumed run's
+     *  monitor samples continue the identical noise sequence). */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        for (auto &ch : channels_) {
+            ar.io(ch.setpointV);
+            ar.io(ch.benchSupply);
+            ar.io(ch.remoteSense);
+            ar.io(ch.cableResistanceOhm);
+            ar.io(ch.senseResistorOhm);
+            ar.io(ch.socketResistanceOhm);
+        }
+        ar.io(monitor_.pollHz);
+        ar.io(monitor_.voltageLsbV);
+        ar.io(monitor_.currentLsbA);
+        ar.io(monitor_.voltageNoiseV);
+        ar.io(monitor_.currentNoiseA);
+        Rng::Snapshot snap = rng_.snapshot();
+        for (auto &w : snap.s)
+            ar.io(w);
+        ar.io(snap.haveCached);
+        ar.io(snap.cached);
+        if (ar.loading())
+            rng_.restore(snap);
+    }
+
   private:
     std::array<SupplyChannel, power::kNumRails> channels_;
     MonitorParams monitor_;

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Checkpointing of isa::Program references.
+ *
+ * Threads hold raw `const isa::Program *` pointers (and Execution
+ * Drafting compares them by identity), so a checkpoint must capture
+ * both the program images and the pointer topology.  ProgramTable
+ * assigns dense ids to every distinct Program encountered in a
+ * deterministic scan order, serializes each image exactly once, and on
+ * restore materializes owned copies whose pointer identity mirrors the
+ * saved topology (two threads that shared a Program share the restored
+ * copy; distinct-but-equal Programs stay distinct).
+ *
+ * Execution Drafting's per-thread (program, pc) draft history may hold
+ * a pointer to a program that is no longer loaded on any thread.  Such
+ * a pointer can never compare equal to any loaded thread's program
+ * again (threads only load registered programs), and it is never
+ * dereferenced — so it maps to the null id, preserving the observable
+ * "never matches" behaviour without touching possibly-dangling memory.
+ */
+
+#ifndef PITON_CHECKPOINT_PROGRAM_TABLE_HH
+#define PITON_CHECKPOINT_PROGRAM_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "checkpoint/archive.hh"
+#include "isa/program.hh"
+
+namespace piton::ckpt
+{
+
+class ProgramTable
+{
+  public:
+    static constexpr std::uint32_t kNullId = ~std::uint32_t{0};
+
+    /** Saving: register a referenced program (idempotent; call in a
+     *  deterministic order — tile-major, thread-minor). */
+    void
+    add(const isa::Program *p)
+    {
+        if (p == nullptr || ids_.count(p))
+            return;
+        ids_.emplace(p, static_cast<std::uint32_t>(programs_.size()));
+        programs_.push_back(p);
+    }
+
+    /** Saving: id of a pointer; kNullId for null or unregistered
+     *  (stale draft-history) pointers. */
+    std::uint32_t
+    idOf(const isa::Program *p) const
+    {
+        if (p == nullptr)
+            return kNullId;
+        const auto it = ids_.find(p);
+        return it == ids_.end() ? kNullId : it->second;
+    }
+
+    /** Loading: pointer for an id (nullptr for kNullId). */
+    const isa::Program *
+    ptrOf(std::uint32_t id) const
+    {
+        if (id == kNullId)
+            return nullptr;
+        Archive::check(id < programs_.size(),
+                       "program id out of range");
+        return programs_[id];
+    }
+
+    /** Serialize a pointer field through the table. */
+    void
+    ioRef(Archive &ar, const isa::Program *&p) const
+    {
+        std::uint32_t id = ar.saving() ? idOf(p) : 0;
+        ar.io(id);
+        if (ar.loading())
+            p = ptrOf(id);
+    }
+
+    /**
+     * Serialize the registered program images.  Loading fills `owner`
+     * with the reconstructed programs (the caller keeps them alive for
+     * as long as the restored threads run) and repopulates the id ->
+     * pointer mapping.  Every instruction field is range-validated, so
+     * a CRC-valid but hand-crafted image cannot produce out-of-bounds
+     * register or branch-target indices.
+     */
+    void
+    serialize(Archive &ar,
+              std::vector<std::unique_ptr<isa::Program>> &owner)
+    {
+        std::uint64_t n = ar.ioSize(programs_.size(), 8);
+        if (ar.loading()) {
+            owner.clear();
+            programs_.clear();
+            ids_.clear();
+        }
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t base = 0;
+            std::vector<isa::Instruction> insts;
+            if (ar.saving()) {
+                base = programs_[i]->baseAddr();
+                insts = programs_[i]->instructions();
+            }
+            ar.io(base);
+            std::uint64_t ni = ar.ioSize(insts.size(), 16);
+            Archive::check(ni > 0, "empty program image");
+            if (ar.loading())
+                insts.resize(static_cast<std::size_t>(ni));
+            for (auto &inst : insts) {
+                ar.ioEnum(inst.op, isa::Opcode::NumOpcodes);
+                ar.io(inst.rd);
+                ar.io(inst.rs1);
+                ar.io(inst.rs2);
+                ar.io(inst.useImm);
+                ar.io(inst.fp);
+                ar.io(inst.imm);
+                ar.io(inst.target);
+                Archive::check(inst.rd < isa::kNumIntRegs
+                                   && inst.rs1 < isa::kNumIntRegs
+                                   && inst.rs2 < isa::kNumIntRegs,
+                               "program register index out of range");
+                Archive::check(!isa::isBranch(inst.op)
+                                   || inst.target < ni,
+                               "branch target out of range");
+            }
+            if (ar.loading()) {
+                owner.push_back(std::make_unique<isa::Program>(
+                    std::move(insts), base));
+                programs_.push_back(owner.back().get());
+            }
+        }
+    }
+
+  private:
+    std::unordered_map<const isa::Program *, std::uint32_t> ids_;
+    std::vector<const isa::Program *> programs_;
+};
+
+} // namespace piton::ckpt
+
+#endif // PITON_CHECKPOINT_PROGRAM_TABLE_HH

@@ -58,6 +58,31 @@ class Rng
     /** Fork a decorrelated child stream (for per-component noise). */
     Rng fork();
 
+    /**
+     * Complete generator state, exposed for checkpointing: the xoshiro
+     * state words plus the Box-Muller second-variate cache.  restore()
+     * of a snapshot() makes the subsequent draw sequence bit-identical
+     * to the original stream's continuation.
+     */
+    struct Snapshot
+    {
+        std::array<std::uint64_t, 4> s{};
+        bool haveCached = false;
+        double cached = 0.0;
+    };
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{s_, haveCached_, cached_};
+    }
+    void
+    restore(const Snapshot &snap)
+    {
+        s_ = snap.s;
+        haveCached_ = snap.haveCached;
+        cached_ = snap.cached;
+    }
+
   private:
     std::array<std::uint64_t, 4> s_;
     bool haveCached_ = false;

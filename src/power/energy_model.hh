@@ -406,6 +406,29 @@ class EnergyLedger
 
     void reset();
 
+    /**
+     * Checkpoint hook.  Captures are round-local scratch — begin/
+     * endCapture bracket a single run-ahead round inside one run()
+     * call — so a checkpoint taken between runs must never observe one
+     * in flight; the guard enforces that on save, and restore re-arms
+     * nothing.
+     */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        Ar::check(capture_ == nullptr,
+                  "ledger capture active at checkpoint");
+        for (auto &c : byCat_)
+            c.serialize(ar);
+        total_.serialize(ar);
+        if (ar.loading()) {
+            capture_ = nullptr;
+            captureCycle_ = 0;
+            captureBase_ = 0;
+        }
+    }
+
   private:
     std::array<RailEnergy, kNumCategories> byCat_{};
     RailEnergy total_;

@@ -84,6 +84,16 @@ class RailEnergy
 
     void reset() { e_ = {}; }
 
+    /** Checkpoint hook: the three accumulators as raw bit patterns
+     *  (the determinism contract compares sums bit for bit). */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        for (auto &v : e_)
+            ar.io(v);
+    }
+
   private:
     std::array<double, kNumRails> e_{};
 };

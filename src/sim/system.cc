@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "checkpoint/archive.hh"
 #include "common/logging.hh"
 #include "telemetry/schema.hh"
 
@@ -165,6 +166,19 @@ System::attachTelemetry(telemetry::TelemetryRecorder *rec)
             tids_.tileJ.push_back(rec->defineSeries(
                 tileSeriesName(t), Unit::Joules, Downsample::Sum));
     }
+    prevNoc_ = chip_->memSystem().noc().stats();
+    prevInsts_ = chip_->totalInsts();
+}
+
+void
+System::snapshotTelemetryBaselines()
+{
+    for (std::size_t i = 0; i < power::kNumCategories; ++i)
+        prevCatJ_[i] =
+            chip_->ledger().category(static_cast<power::Category>(i));
+    prevTileJ_.clear();
+    if (telem_ != nullptr && telem_->config().perTile)
+        prevTileJ_ = chip_->tileCoreEnergyJ();
     prevNoc_ = chip_->memSystem().noc().stats();
     prevInsts_ = chip_->totalInsts();
 }
@@ -356,6 +370,114 @@ System::runToCompletion(Cycle max_cycles)
     res.idleEnergyJ = idle_energy_j;
     res.onChipEnergyJ = res.activeEnergyJ + res.idleEnergyJ;
     return res;
+}
+
+void
+System::serializeSystem(ckpt::Archive &ar)
+{
+    // Identity fingerprint: a checkpoint only restores into a System
+    // built with the same operating point and sampling cadence (the
+    // chip adds its own structural fingerprint).  fastPath is
+    // deliberately absent — both engines are bit-identical, so a
+    // checkpoint taken under one may resume under the other.
+    ar.beginSection("sys.meta");
+    ar.ioExpect(static_cast<std::int64_t>(opts_.chipId), "chip id");
+    ar.ioExpect(opts_.seed, "seed");
+    ar.ioExpect(opts_.vddV, "vdd setpoint");
+    ar.ioExpect(opts_.vcsV, "vcs setpoint");
+    ar.ioExpect(opts_.vioV, "vio setpoint");
+    ar.ioExpect(opts_.coreClockMhz, "core clock");
+    ar.ioExpect(opts_.cyclesPerSample, "cycles per sample");
+    ar.endSection();
+
+    chip_->serialize(ar);
+
+    ar.beginSection("sys.board");
+    board_.serialize(ar);
+    ar.endSection();
+
+    ar.beginSection("sys.thermal");
+    thermal_.serialize(ar);
+    ar.endSection();
+
+    // Per-window baselines: restoring them re-aims the next window's
+    // deltas at the saved ledger/counter values, which is what makes a
+    // resumed run's telemetry continue seamlessly (and what makes the
+    // attach-then-restore warm-start pattern equal to attaching after
+    // an in-place warmup).
+    ar.beginSection("sys.sim");
+    prevLedger_.serialize(ar);
+    ar.io(sampleClockS_);
+    for (auto &c : prevCatJ_)
+        c.serialize(ar);
+    ar.io(prevNoc_.packets);
+    ar.io(prevNoc_.flits);
+    ar.io(prevNoc_.flitHops);
+    ar.io(prevNoc_.toggledBits);
+    ar.io(prevInsts_);
+    std::uint64_t nt = ar.ioSize(prevTileJ_.size(), 8);
+    if (ar.loading())
+        prevTileJ_.resize(static_cast<std::size_t>(nt));
+    for (auto &v : prevTileJ_)
+        ar.io(v);
+    ar.endSection();
+
+    // Recorder contents ride along only when one is attached at save
+    // time; on restore the section is applied only if a recorder is
+    // attached to receive it (attach first, then restore).
+    const bool do_telemetry =
+        telem_ != nullptr
+        && (ar.saving() || ar.hasSection("sys.telemetry"));
+    if (do_telemetry) {
+        ar.beginSection("sys.telemetry");
+        telem_->serialize(ar);
+        ar.endSection();
+    }
+}
+
+std::vector<std::uint8_t>
+System::saveBytes()
+{
+    ckpt::Archive ar = ckpt::Archive::forSave();
+    serializeSystem(ar);
+    return ar.finish();
+}
+
+void
+System::save(const std::string &path)
+{
+    ckpt::writeFile(path, saveBytes());
+}
+
+void
+System::restoreBytes(const std::vector<std::uint8_t> &bytes,
+                     bool mark_telemetry_event)
+{
+    ckpt::Archive ar = ckpt::Archive::forLoad(bytes);
+    serializeSystem(ar);
+    // A checkpoint saved without a recorder never maintained the
+    // per-window delta baselines; if this system has one attached, the
+    // deltas must start from the restored counters — exactly what a
+    // cold run gets by attaching after its warmup (warm_start.hh relies
+    // on this for bit-identical fan-out).
+    if (telem_ != nullptr && !ar.hasSection("sys.telemetry"))
+        snapshotTelemetryBaselines();
+    if (mark_telemetry_event && telem_) {
+        const std::size_t id =
+            telem_->defineSeries(telemetry::schema::kEventRestore,
+                                 telemetry::Unit::Count,
+                                 telemetry::Downsample::Sum);
+        telem_->record(id, sampleClockS_,
+                       static_cast<double>(opts_.cyclesPerSample)
+                           / coreClockHz(),
+                       1.0);
+    }
+}
+
+void
+System::restore(const std::string &path, bool mark_telemetry_event)
+{
+    restoreBytes(ckpt::readFile(path), mark_telemetry_event);
 }
 
 } // namespace piton::sim

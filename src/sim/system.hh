@@ -17,7 +17,9 @@
 #define PITON_SIM_SYSTEM_HH
 
 #include <array>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/piton_chip.hh"
@@ -144,7 +146,43 @@ class System
      *  halted, like the board's 17 Hz monitors do). */
     double sampleClockS() const { return sampleClockS_; }
 
+    // ---- checkpointing (DESIGN.md §10) -------------------------------
+    //
+    // A checkpoint captures the full system: chip (cores, caches,
+    // coherence, NoC, memory pages, energy ledger, program images),
+    // board (supply config + monitor-noise RNG), thermal state, the
+    // per-window telemetry baselines, and — when a recorder is
+    // attached at save time — the recorder contents.  Restore into a
+    // System constructed with the same SystemOptions (key knobs are
+    // fingerprinted; mismatches throw ckpt::CheckpointError) resumes
+    // bit-identically: ledger sums, per-tile energies, and telemetry
+    // exports match an uninterrupted run byte for byte, under either
+    // fastPath setting.  Attach the recorder *before* restoring so the
+    // saved ring contents have series to land in.
+
+    std::vector<std::uint8_t> saveBytes();
+    void save(const std::string &path);
+
+    /** Restore from a checkpoint image.  `mark_telemetry_event`
+     *  additionally records a schema::kEventRestore sample at the
+     *  resume time (opt-in: it breaks byte-identity with an
+     *  uninterrupted run's export by design). */
+    void restoreBytes(const std::vector<std::uint8_t> &bytes,
+                      bool mark_telemetry_event = false);
+    void restore(const std::string &path,
+                 bool mark_telemetry_event = false);
+
   private:
+    /** Shared body of saveBytes/restoreBytes. */
+    void serializeSystem(ckpt::Archive &ar);
+
+    /** Re-baseline the per-window telemetry deltas on the current chip
+     *  counters (as attachTelemetry does).  Used after restoring a
+     *  checkpoint that carried no recorder state: the saved baselines
+     *  belong to a system that never recorded, so the attached
+     *  recorder's deltas must start from the restored counters. */
+    void snapshotTelemetryBaselines();
+
     /** Clock-tree power (W) per rail at the operating point. */
     power::RailEnergy clockTreePowerW() const;
 

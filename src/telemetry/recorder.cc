@@ -1,5 +1,6 @@
 #include "telemetry/recorder.hh"
 
+#include "checkpoint/archive.hh"
 #include "common/logging.hh"
 
 namespace piton::telemetry
@@ -85,6 +86,47 @@ TelemetryRecorder::merge(const TelemetryRecorder &other,
     }
     if (cyclesPerSample_ == 0)
         cyclesPerSample_ = other.cyclesPerSample_;
+}
+
+void
+TelemetryRecorder::serialize(ckpt::Archive &ar)
+{
+    ar.ioExpect(static_cast<std::uint64_t>(cfg_.capacity),
+                "recorder capacity");
+    std::uint64_t cps = cyclesPerSample_;
+    ar.io(cps);
+    cyclesPerSample_ = cps;
+
+    const std::uint64_t n = ar.ioSize(series_.size(), 8);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        Unit unit = Unit::Watts;
+        Downsample ds = Downsample::Mean;
+        if (ar.saving()) {
+            const SeriesRing &s = series_[static_cast<std::size_t>(i)];
+            name = s.name();
+            unit = s.unit();
+            ds = s.downsample();
+        }
+        ar.io(name);
+        ar.ioEnum(unit, static_cast<Unit>(6));       // one past Seconds
+        ar.ioEnum(ds, static_cast<Downsample>(2));   // one past Sum
+        if (ar.loading()) {
+            if (i < series_.size()) {
+                const SeriesRing &s =
+                    series_[static_cast<std::size_t>(i)];
+                ckpt::Archive::check(s.name() == name
+                                         && s.unit() == unit
+                                         && s.downsample() == ds,
+                                     "telemetry schema mismatch");
+            } else {
+                defineSeries(name, unit, ds);
+            }
+        }
+        series_[static_cast<std::size_t>(i)].serializeState(ar);
+    }
+    ckpt::Archive::check(!ar.loading() || series_.size() == n,
+                         "recorder defines series the checkpoint lacks");
 }
 
 } // namespace piton::telemetry

@@ -24,6 +24,11 @@
 #include "telemetry/aggregate.hh"
 #include "telemetry/series.hh"
 
+namespace piton::ckpt
+{
+class Archive;
+}
+
 namespace piton::telemetry
 {
 
@@ -87,6 +92,17 @@ class TelemetryRecorder
      */
     void merge(const TelemetryRecorder &other,
                const std::string &prefix = "");
+
+    /**
+     * Checkpoint hook.  The schema (series names, units, downsample
+     * policies, in definition order) is part of the payload: series
+     * already defined on this recorder must match the saved schema
+     * exactly, series beyond them are defined from the checkpoint, and
+     * a recorder that defined *more* series than the checkpoint fails
+     * the restore.  Ring contents then restore per series, making
+     * subsequent exports byte-identical to an uninterrupted run.
+     */
+    void serialize(ckpt::Archive &ar);
 
   private:
     const SeriesRing &lookup(const std::string &name) const;

@@ -58,6 +58,12 @@ inline constexpr const char *kChipActiveThreads = "chip.active_threads";
 inline constexpr const char *kTilePrefix = "tile";
 inline constexpr const char *kTileCoreSuffix = ".core_j";
 
+/** Checkpoint-restore boundary marker (value 1.0 at the resume time;
+ *  recorded only when System::restore is asked to mark the boundary —
+ *  marking is opt-in because it breaks byte-identity with an
+ *  uninterrupted run's export by design). */
+inline constexpr const char *kEventRestore = "event.restore";
+
 // Power-cap governor trace (recorded by core::PowerCapExperiment).
 inline constexpr const char *kGovernorCores = "governor.active_cores";
 inline constexpr const char *kGovernorMeasuredW = "governor.measured_w";

@@ -85,6 +85,37 @@ class SeriesRing
      *  is the exportable view: it covers every pushed sample. */
     std::vector<SamplePoint> snapshot() const;
 
+    /**
+     * Checkpoint hook for the mutable ring state (the identity fields —
+     * name, unit, downsample policy, capacity — are matched by the
+     * recorder before this is called).  Restores the stored points,
+     * the downsample stride, and the partially-accumulated pending
+     * point, so a resumed run's exports are byte-identical.
+     */
+    template <typename Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.io(stride_);
+        Ar::check(stride_ >= 1 && (stride_ & (stride_ - 1)) == 0,
+                  "series stride not a power of two");
+        ar.io(pushes_);
+        std::uint64_t n = ar.ioSize(points_.size(), 24);
+        Ar::check(n <= capacity_, "series point count exceeds capacity");
+        if (ar.loading())
+            points_.resize(static_cast<std::size_t>(n));
+        for (auto &p : points_) {
+            ar.io(p.tS);
+            ar.io(p.dtS);
+            ar.io(p.value);
+        }
+        ar.io(pendingCount_);
+        Ar::check(pendingCount_ < stride_, "series pending overflow");
+        ar.io(pendingT_);
+        ar.io(pendingDt_);
+        ar.io(pendingWeighted_);
+    }
+
   private:
     /** Merge adjacent pairs in place; doubles the stride. */
     void compact();

@@ -88,6 +88,28 @@ class ThermalModel
     /** Set state directly (e.g. to start from a known condition). */
     void setState(const ThermalState &s) { state_ = s; }
 
+    /** Checkpoint hook: parameters (setFanEffectiveness and
+     *  setHasHeatSink mutate them mid-run) plus node temperatures. */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar.io(params_.ambientC);
+        ar.io(params_.dieCap);
+        ar.io(params_.packageCap);
+        ar.io(params_.sinkCap);
+        ar.io(params_.dieToPackageR);
+        ar.io(params_.packageToSinkR);
+        ar.io(params_.sinkToAmbientR);
+        ar.io(params_.packageToAmbientNoSinkR);
+        ar.io(params_.hasHeatSink);
+        ar.io(params_.fanEffectiveness);
+        ar.io(params_.fanOffFactor);
+        ar.io(state_.dieC);
+        ar.io(state_.packageC);
+        ar.io(state_.sinkC);
+    }
+
   private:
     /** Convection resistance from the outermost node to ambient,
      *  including the fan model. */

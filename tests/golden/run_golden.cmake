@@ -1,0 +1,47 @@
+# Golden-file bench regression driver (ctest label "golden").
+#
+# Runs one bench binary with pinned arguments and byte-compares its
+# stdout against the checked-in golden file.  The sweeps behind the
+# benches are bit-deterministic at any --threads value, so the goldens
+# are stable across machines building the same toolchain output.
+#
+# Refreshing after an intended output change:
+#   PITON_UPDATE_GOLDENS=1 ctest -L golden
+# then review the tests/golden/*.txt diff like any other code change.
+#
+# Variables: BENCH (binary), ARGS (space-separated), GOLDEN (source
+# golden path), OUT (scratch output path).
+
+separate_arguments(bench_args UNIX_COMMAND "${ARGS}")
+
+execute_process(
+    COMMAND ${BENCH} ${bench_args}
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} ${ARGS} exited with ${run_rc}")
+endif()
+
+if("$ENV{PITON_UPDATE_GOLDENS}")
+    configure_file(${OUT} ${GOLDEN} COPYONLY)
+    message(STATUS "updated golden: ${GOLDEN}")
+    return()
+endif()
+
+if(NOT EXISTS ${GOLDEN})
+    message(FATAL_ERROR
+        "missing golden file ${GOLDEN}; generate it with "
+        "PITON_UPDATE_GOLDENS=1 ctest -L golden")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u ${GOLDEN} ${OUT}
+                    OUTPUT_VARIABLE diff_text ERROR_QUIET)
+    message(FATAL_ERROR
+        "bench output differs from ${GOLDEN}\n${diff_text}\n"
+        "If the change is intended, refresh with "
+        "PITON_UPDATE_GOLDENS=1 ctest -L golden and commit the diff.")
+endif()
