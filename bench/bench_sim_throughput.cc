@@ -14,6 +14,9 @@
 #include "chip/chip_instance.hh"
 #include "common/parallel.hh"
 #include "isa/assembler.hh"
+#include "service/client.hh"
+#include "service/request.hh"
+#include "service/scheduler.hh"
 #include "sim/system.hh"
 #include "thermal/thermal_model.hh"
 #include "workloads/microbenchmarks.hh"
@@ -149,6 +152,72 @@ BENCHMARK(BM_SweepVfOperatingPoints)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** A small power request for the service-path benchmarks: 2 cores,
+ *  short warmup, a handful of monitor samples. */
+service::ExperimentRequest
+smallServiceRequest(std::uint64_t seed)
+{
+    service::ExperimentRequest req;
+    req.kind = service::Kind::MeasurePower;
+    req.workload.bench =
+        static_cast<std::uint16_t>(workloads::Microbench::Int);
+    req.workload.cores = 2;
+    req.workload.threadsPerCore = 1;
+    req.workload.totalElements = 256;
+    req.samples = 4;
+    req.warmupCycles = 4000;
+    req.seed = seed;
+    return req;
+}
+
+/**
+ * Service fast path: an exact result-cache hit.  Measures the full
+ * serve path (canonicalize, hash, shard lookup, CRC verify) minus the
+ * simulation itself — the latency a repeated experiment pays.
+ */
+void
+BM_ServiceLocalCacheHit(benchmark::State &state)
+{
+    service::SchedulerConfig cfg;
+    cfg.threads = 1;
+    service::ExperimentScheduler sched(cfg);
+    service::LocalClient client(sched);
+    const service::ExperimentRequest req = smallServiceRequest(0x517);
+    client.run(req); // populate the cache
+    for (auto _ : state) {
+        const service::ClientResult r = client.run(req);
+        benchmark::DoNotOptimize(r.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+// Execution happens on the scheduler's worker thread, so iteration
+// budgeting must track wall clock, not this thread's CPU time.
+BENCHMARK(BM_ServiceLocalCacheHit)->UseRealTime();
+
+/**
+ * Service slow path: every iteration uses a fresh seed, so every
+ * request misses and simulates — scheduling + execution + cache
+ * publish end to end.
+ */
+void
+BM_ServiceLocalColdMiss(benchmark::State &state)
+{
+    service::SchedulerConfig cfg;
+    cfg.threads = 1;
+    service::ExperimentScheduler sched(cfg);
+    service::LocalClient client(sched);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const service::ClientResult r =
+            client.run(smallServiceRequest(seed++));
+        benchmark::DoNotOptimize(r.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceLocalColdMiss)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

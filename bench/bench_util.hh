@@ -15,6 +15,7 @@
 #include <cstring>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace piton::bench
@@ -51,6 +52,9 @@ struct BenchArgs
     std::string resumeFrom;
     /** Extra boolean flags seen (from the caller's allow-list). */
     std::vector<std::string> flags;
+    /** Extra valued options seen (from the caller's allow-list), in
+     *  command-line order; the last occurrence wins in optionValue. */
+    std::vector<std::pair<std::string, std::string>> options;
     /** Positional arguments, in order. */
     std::vector<std::string> positionals;
 
@@ -61,6 +65,15 @@ struct BenchArgs
             if (s == f)
                 return true;
         return false;
+    }
+
+    std::string
+    optionValue(const char *name, std::string def = {}) const
+    {
+        for (auto it = options.rbegin(); it != options.rend(); ++it)
+            if (it->first == name)
+                return it->second;
+        return def;
     }
 };
 
@@ -102,17 +115,19 @@ numericValue(const char *prog, const char *flag, const char *value)
  *   --threads N   sweep worker threads (0 = all hardware threads)
  *   --out DIR     telemetry export directory (benches that record
  *                 telemetry write <dir>/<bench>.{csv,jsonl})
- * plus any caller-allowed boolean `extra_flags` (e.g. "--full") and up
- * to `max_positionals` positional arguments.  Anything else — an
- * unknown flag, a flag missing its value, a non-numeric count, or an
- * excess positional — is a hard error: usage goes to stderr and the
- * process exits with status 2.
+ * plus any caller-allowed boolean `extra_flags` (e.g. "--full"),
+ * caller-allowed valued `extra_opts` (e.g. "--port", consuming the
+ * next argument), and up to `max_positionals` positional arguments.
+ * Anything else — an unknown flag, a flag missing its value, a
+ * non-numeric count, or an excess positional — is a hard error: usage
+ * goes to stderr and the process exits with status 2.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
                unsigned def_threads = 1,
                std::initializer_list<const char *> extra_flags = {},
-               std::size_t max_positionals = 0)
+               std::size_t max_positionals = 0,
+               std::initializer_list<const char *> extra_opts = {})
 {
     BenchArgs args;
     args.samples = def_samples;
@@ -156,6 +171,15 @@ parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
                     known = true;
                     break;
                 }
+            for (const char *o : extra_opts) {
+                if (known || std::strcmp(a, o) != 0)
+                    continue;
+                if (next == nullptr)
+                    detail::usageError(prog, "missing value for", a);
+                args.options.emplace_back(a, next);
+                known = true;
+                ++i;
+            }
             if (!known)
                 detail::usageError(prog, "unknown flag", a);
         } else {

@@ -1,11 +1,79 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <exception>
 #include <stdexcept>
 
 namespace piton
 {
+
+namespace
+{
+
+std::atomic<int> gLogLevel{static_cast<int>(LogLevel::Info)};
+
+/**
+ * Emit one complete record with a single stdio call.  fwrite on a
+ * FILE* is locked (flockfile) for the whole call, so two threads
+ * emitting concurrently produce two intact lines in some order, never
+ * an interleaving.  The record must already end in '\n'.
+ */
+void
+emitRecord(std::FILE *stream, const std::string &record)
+{
+    std::fwrite(record.data(), 1, record.size(), stream);
+    std::fflush(stream);
+}
+
+std::string
+makeRecord(const char *tag, const std::string &msg)
+{
+    std::string record;
+    record.reserve(msg.size() + 16);
+    record += tag;
+    record += msg;
+    record += '\n';
+    return record;
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        gLogLevel.load(std::memory_order_relaxed));
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level)
+           <= gLogLevel.load(std::memory_order_relaxed);
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "silent")
+        out = LogLevel::Silent;
+    else if (name == "warn")
+        out = LogLevel::Warn;
+    else if (name == "info")
+        out = LogLevel::Info;
+    else if (name == "debug")
+        out = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
 
 std::string
 csprintf(const char *fmt, ...)
@@ -29,14 +97,18 @@ csprintf(const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitRecord(stderr, makeRecord("fatal: ",
+                                  msg + " (" + file + ":"
+                                      + std::to_string(line) + ")"));
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitRecord(stderr, makeRecord("panic: ",
+                                  msg + " (" + file + ":"
+                                      + std::to_string(line) + ")"));
     // Throwing instead of abort() lets tests assert on panics; the
     // exception type is deliberately distinct from std::runtime_error
     // users might catch.
@@ -47,13 +119,19 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitRecord(stderr, makeRecord("warn: ", msg));
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitRecord(stdout, makeRecord("info: ", msg));
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    emitRecord(stderr, makeRecord("debug: ", msg));
 }
 
 } // namespace piton

@@ -1,12 +1,20 @@
 /**
  * @file
- * Minimal gem5-style status/error reporting.
+ * Minimal gem5-style status/error reporting, safe under concurrent
+ * threads.
  *
  * fatal()  - the simulation cannot continue due to a user error
  *            (bad configuration, invalid arguments); exits with code 1.
  * panic()  - an internal invariant was violated (a library bug); aborts.
  * warn()   - something is suspicious but the run can continue.
  * inform() - plain status output.
+ * debug()  - high-volume diagnostics (off unless the level allows it).
+ *
+ * Concurrency contract (the experiment server logs from pool workers):
+ * each record is fully formatted first and then emitted with a single
+ * stdio call, so records from different threads never interleave
+ * mid-line.  The level filter is one relaxed atomic load per call and
+ * is read exactly once per record.
  */
 
 #ifndef PITON_COMMON_LOGGING_HH
@@ -19,10 +27,30 @@
 namespace piton
 {
 
+/** Global emission threshold: a record is emitted when its level is <=
+ *  the current threshold.  Fatal/panic always emit (they terminate). */
+enum class LogLevel : int
+{
+    Silent = 0, ///< nothing but fatal/panic
+    Warn = 1,   ///< warn()
+    Info = 2,   ///< warn() + inform()     (default)
+    Debug = 3,  ///< everything
+};
+
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+/** One relaxed load; use to skip argument formatting entirely. */
+bool logEnabled(LogLevel level);
+
+/** Parse "silent"/"warn"/"info"/"debug" (case-sensitive); returns
+ *  false and leaves `out` untouched on anything else. */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 /** printf-style formatting into a std::string. */
 std::string csprintf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -33,8 +61,21 @@ std::string csprintf(const char *fmt, ...) __attribute__((format(printf, 1, 2)))
     ::piton::fatalImpl(__FILE__, __LINE__, ::piton::csprintf(__VA_ARGS__))
 #define piton_panic(...) \
     ::piton::panicImpl(__FILE__, __LINE__, ::piton::csprintf(__VA_ARGS__))
-#define piton_warn(...) ::piton::warnImpl(::piton::csprintf(__VA_ARGS__))
-#define piton_inform(...) ::piton::informImpl(::piton::csprintf(__VA_ARGS__))
+#define piton_warn(...)                                       \
+    do {                                                      \
+        if (::piton::logEnabled(::piton::LogLevel::Warn))     \
+            ::piton::warnImpl(::piton::csprintf(__VA_ARGS__)); \
+    } while (0)
+#define piton_inform(...)                                       \
+    do {                                                        \
+        if (::piton::logEnabled(::piton::LogLevel::Info))       \
+            ::piton::informImpl(::piton::csprintf(__VA_ARGS__)); \
+    } while (0)
+#define piton_debug(...)                                        \
+    do {                                                        \
+        if (::piton::logEnabled(::piton::LogLevel::Debug))      \
+            ::piton::debugImpl(::piton::csprintf(__VA_ARGS__));  \
+    } while (0)
 
 /** Internal invariant check that survives NDEBUG builds. */
 #define piton_assert(cond, ...)                                               \

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Request execution: turns a canonicalized ExperimentRequest into an
+ * encoded result, driving the existing sim/workloads/core layers.
+ *
+ * Sweep requests route through the warm-start prefix cache: the shared
+ * (workload + warmup) prefix is simulated once per prefixKey(), the
+ * checkpoint image is stored content-addressed, and every sweep point
+ * forks from the image (sim::SweepWarmStart).  The checkpoint restore
+ * contract makes the fork bit-identical to re-simulating the prefix,
+ * so a warm-started point's encoded result equals its cold
+ * equivalent's byte for byte (tests/test_service.cc asserts this; run
+ * with `prefix_cache == nullptr` to force the cold path).
+ *
+ * Cancellation and deadlines are checked at stage boundaries (before
+ * the run, after the prefix, between sweep points/voltage steps) — a
+ * stage in progress is never preempted mid-window, so a cancelled
+ * request releases its pool slot within one stage.
+ */
+
+#ifndef PITON_SERVICE_EXECUTOR_HH
+#define PITON_SERVICE_EXECUTOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "service/cache.hh"
+#include "service/request.hh"
+#include "service/response.hh"
+
+namespace piton::service
+{
+
+/** Cancellation + deadline state shared with the connection layer. */
+struct RunControl
+{
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+
+    bool
+    isCancelled() const
+    {
+        return cancelled && cancelled->load(std::memory_order_relaxed);
+    }
+    bool
+    deadlineExpired() const
+    {
+        return std::chrono::steady_clock::now() >= deadline;
+    }
+};
+
+/**
+ * Execute `canon` (must already be canonicalized).  Never throws:
+ * simulation failures come back as Status::Error, checks at stage
+ * boundaries as Cancelled/DeadlineExpired.  `prefix_cache` may be
+ * null (no warm-start reuse; the bit-identity reference path).
+ */
+ExperimentResponse runExperiment(const ExperimentRequest &canon,
+                                 const RunControl &ctl,
+                                 ResultCache *prefix_cache,
+                                 std::uint32_t version_salt);
+
+} // namespace piton::service
+
+#endif // PITON_SERVICE_EXECUTOR_HH

@@ -1,0 +1,202 @@
+#include "service/response.hh"
+
+namespace piton::service
+{
+
+namespace
+{
+
+void
+encodeRailStats(WireWriter &w, const RailStatsWire &s)
+{
+    w.u64(s.count);
+    w.f64(s.meanW);
+    w.f64(s.stddevW);
+    w.f64(s.minW);
+    w.f64(s.maxW);
+}
+
+RailStatsWire
+decodeRailStats(WireReader &r)
+{
+    RailStatsWire s;
+    s.count = r.u64();
+    s.meanW = r.f64();
+    s.stddevW = r.f64();
+    s.minW = r.f64();
+    s.maxW = r.f64();
+    return s;
+}
+
+constexpr std::size_t kMaxResultPoints = 4096;
+
+} // namespace
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+    case Status::Ok:
+        return "ok";
+    case Status::Error:
+        return "error";
+    case Status::Shed:
+        return "shed";
+    case Status::DeadlineExpired:
+        return "deadline-expired";
+    case Status::Cancelled:
+        return "cancelled";
+    case Status::StatusCount:
+        break;
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+ExperimentResponse::encodeBody() const
+{
+    WireWriter w;
+    w.u16(static_cast<std::uint16_t>(status));
+    w.u16(static_cast<std::uint16_t>(kind));
+    w.str(error);
+    switch (kind) {
+    case Kind::MeasurePower:
+    case Kind::MeasureStatic:
+        encodeRailStats(w, measure.vdd);
+        encodeRailStats(w, measure.vcs);
+        encodeRailStats(w, measure.vio);
+        encodeRailStats(w, measure.onChip);
+        w.f64(measure.dieTempC);
+        break;
+    case Kind::EnergyRun:
+        w.u8(energy.completed);
+        w.u8(energy.stalled);
+        w.u64(energy.cycles);
+        w.f64(energy.seconds);
+        w.u64(energy.insts);
+        w.f64(energy.onChipEnergyJ);
+        w.f64(energy.activeEnergyJ);
+        w.f64(energy.idleEnergyJ);
+        break;
+    case Kind::Sweep:
+        w.u32(static_cast<std::uint32_t>(points.size()));
+        for (const SweepPointResult &p : points) {
+            w.f64(p.fanEffectiveness);
+            encodeRailStats(w, p.onChip);
+            w.f64(p.finalDieC);
+        }
+        break;
+    case Kind::VfCurve:
+        w.u32(static_cast<std::uint32_t>(vfPoints.size()));
+        for (const VfPointResult &p : vfPoints) {
+            w.f64(p.vddV);
+            w.f64(p.fmaxMhz);
+            w.f64(p.nextStepMhz);
+            w.u8(p.thermallyLimited);
+            w.f64(p.dieTempC);
+        }
+        break;
+    case Kind::KindCount:
+        break;
+    }
+    return w.take();
+}
+
+ExperimentResponse
+ExperimentResponse::decodeBody(const std::vector<std::uint8_t> &b)
+{
+    WireReader r(b);
+    ExperimentResponse resp;
+    const std::uint16_t raw_status = r.u16();
+    if (raw_status >= static_cast<std::uint16_t>(Status::StatusCount))
+        throw ServiceError("bad response status");
+    resp.status = static_cast<Status>(raw_status);
+    const std::uint16_t raw_kind = r.u16();
+    if (raw_kind >= static_cast<std::uint16_t>(Kind::KindCount))
+        throw ServiceError("bad response kind");
+    resp.kind = static_cast<Kind>(raw_kind);
+    resp.error = r.str();
+    switch (resp.kind) {
+    case Kind::MeasurePower:
+    case Kind::MeasureStatic:
+        resp.measure.vdd = decodeRailStats(r);
+        resp.measure.vcs = decodeRailStats(r);
+        resp.measure.vio = decodeRailStats(r);
+        resp.measure.onChip = decodeRailStats(r);
+        resp.measure.dieTempC = r.f64();
+        break;
+    case Kind::EnergyRun:
+        resp.energy.completed = r.u8();
+        resp.energy.stalled = r.u8();
+        resp.energy.cycles = r.u64();
+        resp.energy.seconds = r.f64();
+        resp.energy.insts = r.u64();
+        resp.energy.onChipEnergyJ = r.f64();
+        resp.energy.activeEnergyJ = r.f64();
+        resp.energy.idleEnergyJ = r.f64();
+        break;
+    case Kind::Sweep: {
+        const std::uint32_t n = r.u32();
+        if (n > kMaxResultPoints)
+            throw ServiceError("too many sweep points in response");
+        resp.points.resize(n);
+        for (SweepPointResult &p : resp.points) {
+            p.fanEffectiveness = r.f64();
+            p.onChip = decodeRailStats(r);
+            p.finalDieC = r.f64();
+        }
+        break;
+    }
+    case Kind::VfCurve: {
+        const std::uint32_t n = r.u32();
+        if (n > kMaxResultPoints)
+            throw ServiceError("too many V-f points in response");
+        resp.vfPoints.resize(n);
+        for (VfPointResult &p : resp.vfPoints) {
+            p.vddV = r.f64();
+            p.fmaxMhz = r.f64();
+            p.nextStepMhz = r.f64();
+            p.thermallyLimited = r.u8();
+            p.dieTempC = r.f64();
+        }
+        break;
+    }
+    case Kind::KindCount:
+        break;
+    }
+    r.expectEnd();
+    return resp;
+}
+
+ExperimentResponse
+ExperimentResponse::failure(Status status, Kind kind, std::string message)
+{
+    ExperimentResponse resp;
+    resp.status = status;
+    resp.kind = kind;
+    resp.error = std::move(message);
+    return resp;
+}
+
+std::vector<std::uint8_t>
+encodeResponseEnvelope(bool served_from_cache,
+                       const std::vector<std::uint8_t> &body)
+{
+    WireWriter w;
+    w.u8(served_from_cache ? 1 : 0);
+    w.blob(body);
+    return w.take();
+}
+
+ResponseEnvelope
+decodeResponseEnvelope(const std::vector<std::uint8_t> &payload)
+{
+    WireReader r(payload);
+    ResponseEnvelope env;
+    env.servedFromCache = r.u8() != 0;
+    env.body = r.blob();
+    r.expectEnd();
+    return env;
+}
+
+} // namespace piton::service

@@ -42,7 +42,8 @@ class SweepWarmStart
     {
         SweepWarmStart ws;
         ws.opts_ = sys.options();
-        ws.bytes_ = sys.saveBytes();
+        ws.bytes_ = std::make_shared<const std::vector<std::uint8_t>>(
+            sys.saveBytes());
         return ws;
     }
 
@@ -52,6 +53,18 @@ class SweepWarmStart
     static SweepWarmStart
     fromImage(SystemOptions opts, std::vector<std::uint8_t> bytes)
     {
+        return fromShared(
+            std::move(opts),
+            std::make_shared<const std::vector<std::uint8_t>>(
+                std::move(bytes)));
+    }
+
+    /** Like fromImage(), but sharing an immutable image already held
+     *  elsewhere (the service's prefix cache) instead of copying it. */
+    static SweepWarmStart
+    fromShared(SystemOptions opts,
+               std::shared_ptr<const std::vector<std::uint8_t>> bytes)
+    {
         SweepWarmStart ws;
         ws.opts_ = std::move(opts);
         ws.bytes_ = std::move(bytes);
@@ -59,7 +72,13 @@ class SweepWarmStart
     }
 
     const SystemOptions &options() const { return opts_; }
-    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    const std::vector<std::uint8_t> &bytes() const { return *bytes_; }
+    /** The image as a shareable handle (for content-addressed stores). */
+    std::shared_ptr<const std::vector<std::uint8_t>>
+    sharedBytes() const
+    {
+        return bytes_;
+    }
 
     /** A fresh System with the prefix restored.  (System is
      *  non-movable, so forks live behind unique_ptr.) */
@@ -67,7 +86,7 @@ class SweepWarmStart
     fork() const
     {
         auto sys = std::make_unique<System>(opts_);
-        sys->restoreBytes(bytes_);
+        sys->restoreBytes(*bytes_);
         return sys;
     }
 
@@ -79,7 +98,7 @@ class SweepWarmStart
     {
         auto sys = std::make_unique<System>(opts_);
         sys->attachTelemetry(&rec);
-        sys->restoreBytes(bytes_);
+        sys->restoreBytes(*bytes_);
         return sys;
     }
 
@@ -100,7 +119,7 @@ class SweepWarmStart
     SweepWarmStart() = default;
 
     SystemOptions opts_;
-    std::vector<std::uint8_t> bytes_;
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes_;
 };
 
 } // namespace piton::sim

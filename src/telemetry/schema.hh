@@ -74,6 +74,16 @@ inline constexpr const char *kSweepPowerW = "sweep.power_w";
 inline constexpr const char *kSweepPackageC = "sweep.package_c";
 inline constexpr const char *kSweepFan = "sweep.fan_effectiveness";
 
+/** Experiment-service metrics (service::ExperimentScheduler): the time
+ *  axis is the export sequence number (dt = 1), gauges sampled at
+ *  export time.  Exported by ExperimentScheduler::exportTelemetry and
+ *  surfaced over the wire by the StatsQuery frame. */
+inline constexpr const char *kServiceQueueDepth = "service.queue_depth";
+inline constexpr const char *kServiceHitRate = "service.hit_rate";
+inline constexpr const char *kServiceLatencyP50Ms = "service.latency_p50_ms";
+inline constexpr const char *kServiceLatencyP99Ms = "service.latency_p99_ms";
+inline constexpr const char *kServiceShed = "service.shed_total";
+
 } // namespace piton::telemetry::schema
 
 #endif // PITON_TELEMETRY_SCHEMA_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * parseBenchArgs contract: the common bench parser accepts exactly the
+ * documented flag set (plus the caller's allow-list) and hard-errors —
+ * usage to stderr, exit 2 — on anything else.  Silent acceptance of a
+ * misspelled flag would silently run the wrong experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../bench/bench_util.hh"
+
+namespace
+{
+
+using piton::bench::BenchArgs;
+using piton::bench::parseBenchArgs;
+
+/** argv builder (parseBenchArgs wants mutable char**). */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : strings_(std::move(args))
+    {
+        for (auto &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+TEST(BenchUtil, ParsesTheCommonFlagSet)
+{
+    Argv a({"bench", "--samples", "32", "--threads", "4", "--out", "/tmp/x",
+            "--checkpoint-every", "10", "--checkpoint-out", "ck.bin",
+            "--resume-from", "old.bin"});
+    const BenchArgs args = parseBenchArgs(a.argc(), a.argv());
+    EXPECT_EQ(args.samples, 32u);
+    EXPECT_EQ(args.threads, 4u);
+    EXPECT_EQ(args.outDir, "/tmp/x");
+    EXPECT_EQ(args.checkpointEvery, 10u);
+    EXPECT_EQ(args.checkpointOut, "ck.bin");
+    EXPECT_EQ(args.resumeFrom, "old.bin");
+}
+
+TEST(BenchUtil, DefaultsApplyWithoutFlags)
+{
+    Argv a({"bench"});
+    const BenchArgs args = parseBenchArgs(a.argc(), a.argv(), 64, 2);
+    EXPECT_EQ(args.samples, 64u);
+    EXPECT_EQ(args.threads, 2u);
+    EXPECT_TRUE(args.outDir.empty());
+}
+
+TEST(BenchUtil, UnknownFlagIsAHardError)
+{
+    Argv a({"bench", "--sampels", "32"}); // typo'd flag
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(BenchUtil, MissingValueIsAHardError)
+{
+    Argv a({"bench", "--samples"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "missing value");
+}
+
+TEST(BenchUtil, NonNumericValueIsAHardError)
+{
+    Argv a({"bench", "--threads", "many"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "bad numeric value");
+}
+
+TEST(BenchUtil, NegativeValueIsAHardError)
+{
+    Argv a({"bench", "--samples", "-3"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "");
+}
+
+TEST(BenchUtil, ExcessPositionalIsAHardError)
+{
+    Argv a({"bench", "chip2"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "unexpected argument");
+}
+
+TEST(BenchUtil, AllowListedExtrasParse)
+{
+    Argv a({"bench", "--full", "--port", "1234", "chip2"});
+    const BenchArgs args = parseBenchArgs(a.argc(), a.argv(), 128, 1,
+                                          {"--full"}, 1, {"--port"});
+    EXPECT_TRUE(args.hasFlag("--full"));
+    EXPECT_FALSE(args.hasFlag("--fast"));
+    EXPECT_EQ(args.optionValue("--port"), "1234");
+    EXPECT_EQ(args.optionValue("--host", "localhost"), "localhost");
+    ASSERT_EQ(args.positionals.size(), 1u);
+    EXPECT_EQ(args.positionals[0], "chip2");
+}
+
+TEST(BenchUtil, LastOptionOccurrenceWins)
+{
+    Argv a({"bench", "--port", "1", "--port", "2"});
+    const BenchArgs args =
+        parseBenchArgs(a.argc(), a.argv(), 128, 1, {}, 0, {"--port"});
+    EXPECT_EQ(args.optionValue("--port"), "2");
+}
+
+TEST(BenchUtil, ExtraOptionMissingValueIsAHardError)
+{
+    Argv a({"bench", "--port"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv(), 128, 1, {}, 0,
+                               {"--port"}),
+                testing::ExitedWithCode(2), "missing value");
+}
+
+TEST(BenchUtil, NonAllowListedExtraIsStillUnknown)
+{
+    Argv a({"bench", "--port", "1234"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv(), 128, 1, {"--full"}, 0),
+                testing::ExitedWithCode(2), "unknown flag");
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Logging contract (common/logging): the level filter gates emission,
+ * and concurrent threads never interleave mid-record — each record is
+ * formatted fully and emitted with one stdio call, so captured output
+ * must tokenize into intact lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace piton;
+
+/** Restore the global level after each test. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = logLevel(); }
+    void TearDown() override { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_ = LogLevel::Info;
+};
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsTheDocumentedNames)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("silent", level));
+    EXPECT_EQ(level, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("warn", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("info", level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+
+    level = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("verbose", level));
+    EXPECT_EQ(level, LogLevel::Warn); // untouched on failure
+}
+
+TEST_F(LoggingTest, LevelFilterGatesEmission)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_FALSE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+
+    testing::internal::CaptureStderr();
+    piton_warn("suppressed %d", 1);
+    piton_debug("suppressed %d", 2);
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+
+    testing::internal::CaptureStderr();
+    piton_warn("emitted");
+    piton_debug("still suppressed");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "warn: emitted\n");
+
+    setLogLevel(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    piton_debug("now visible");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(),
+              "debug: now visible\n");
+}
+
+TEST_F(LoggingTest, ConcurrentRecordsNeverInterleave)
+{
+    setLogLevel(LogLevel::Warn);
+    constexpr int kThreads = 8;
+    constexpr int kRecords = 200;
+
+    testing::internal::CaptureStderr();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([t] {
+            for (int i = 0; i < kRecords; ++i)
+                piton_warn("thread=%d record=%d payload=%s", t, i,
+                           "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+        });
+    for (auto &th : threads)
+        th.join();
+    const std::string captured = testing::internal::GetCapturedStderr();
+
+    // Every line must be one complete record: correct prefix, correct
+    // payload tail, nothing spliced from another thread.
+    std::istringstream stream(captured);
+    std::string line;
+    int lines = 0;
+    int per_thread[kThreads] = {};
+    while (std::getline(stream, line)) {
+        ++lines;
+        ASSERT_EQ(line.rfind("warn: thread=", 0), 0u) << line;
+        ASSERT_NE(line.find(" record="), std::string::npos) << line;
+        const std::string tail = "payload=xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+        ASSERT_EQ(line.substr(line.size() - tail.size()), tail) << line;
+        int thread_id = -1, record = -1;
+        ASSERT_EQ(std::sscanf(line.c_str(),
+                              "warn: thread=%d record=%d", &thread_id,
+                              &record),
+                  2)
+            << line;
+        ASSERT_GE(thread_id, 0);
+        ASSERT_LT(thread_id, kThreads);
+        ++per_thread[thread_id];
+    }
+    EXPECT_EQ(lines, kThreads * kRecords);
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(per_thread[t], kRecords) << "thread " << t;
+}
+
+TEST_F(LoggingTest, InformGoesToStdoutWarnToStderr)
+{
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    piton_inform("status %d", 42);
+    piton_warn("careful");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "info: status 42\n");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "warn: careful\n");
+}
+
+} // namespace
