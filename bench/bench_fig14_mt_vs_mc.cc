@@ -17,9 +17,11 @@ main(int argc, char **argv)
     using namespace piton;
     bench::banner("Fig. 14", "Multithreading vs multicore power/energy");
 
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 128, 0);
     sim::SystemOptions opts;
-    opts.sweepThreads =
-        bench::parseBenchArgs(argc, argv, 128, 0).threads;
+    opts.sweepThreads = args.threads;
+    opts.engineThreads = args.engineThreads;
     const core::MtVsMcExperiment exp(opts,
                                      /*iterations=*/12000,
                                      /*hist_elements=*/4096,

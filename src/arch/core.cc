@@ -11,9 +11,10 @@ namespace piton::arch
 
 Core::Core(TileId tile, const config::PitonParams &params,
            MemorySystem &mem, const power::EnergyModel &energy,
-           power::EnergyLedger &ledger, double dyn_factor)
+           power::EnergyLedger &ledger, power::TileEnergyLedger &tile_energy,
+           double dyn_factor)
     : tile_(tile), params_(params), mem_(mem), energy_(energy),
-      ledger_(ledger), dynFactor_(dyn_factor)
+      ledger_(ledger), tileEnergy_(tile_energy), dynFactor_(dyn_factor)
 {
     threads_.resize(params_.threadsPerCore);
     lastIssue_.resize(params_.threadsPerCore, {nullptr, 0});
@@ -239,7 +240,7 @@ Core::runAheadGeneric(Cycle from, Cycle lim)
     AheadResult r;
     Cycle cur = from;
     for (;;) {
-        ledger_.setCaptureCycle(cur);
+        capCycle_ = cur;
         if (tickImpl<true>(cur) == TickOutcome::Paused) {
             r.next = cur;
             r.paused = true;
@@ -299,7 +300,7 @@ Core::runAheadBurst(Cycle from, Cycle lim)
 
             // Committed to this issue: replicate tickImpl's per-cycle
             // charge order (thread switch, fetch, exec).
-            ledger_.setCaptureCycle(cur);
+            capCycle_ = cur;
             if (pick != last) {
                 ++threadSwitches_;
                 charge(power::Category::Exec, switch_e);
@@ -365,6 +366,11 @@ Core::runAheadBurst(Cycle from, Cycle lim)
 Core::AheadResult
 Core::resumeShared(Cycle c, Cycle lim)
 {
+    // The shared op's core-side charges tag through capCycle_; its
+    // memory-side charges go through the chip ledger's capture (phase 2
+    // runs serially, so touching the shared ledger here is safe).  Both
+    // streams land in this core's log, in charge order.
+    capCycle_ = c;
     ledger_.setCaptureCycle(c);
     tickImpl<false>(c); // the pending shared-memory op
     const Cycle next = nextEventCycle(c + 1);
@@ -524,6 +530,8 @@ Core::issue(ThreadState &t, ThreadId tid, Cycle now)
 void
 Core::serialize(ckpt::Archive &ar, const ckpt::ProgramTable &pt)
 {
+    ckpt::Archive::check(capLog_ == nullptr,
+                         "core capture active at checkpoint");
     ar.ioExpect(static_cast<std::uint32_t>(threads_.size()),
                 "threads per core");
     for (auto &t : threads_) {
@@ -562,7 +570,9 @@ Core::serialize(ckpt::Archive &ar, const ckpt::ProgramTable &pt)
         ar.io(t.memStallCycles);
     }
 
-    coreEnergy_.serialize(ar);
+    // The per-tile energy accumulator lives in the chip's SoA
+    // TileEnergyLedger, serialized as its own chip.tile_energy section
+    // (format v2); nothing per-core to write here.
     ar.io(lastIssued_);
     ckpt::Archive::check(lastIssued_ < threads_.size(),
                          "lastIssued out of range");
@@ -573,8 +583,14 @@ Core::serialize(ckpt::Archive &ar, const ckpt::ProgramTable &pt)
         pt.ioRef(ar, li.first);
         ar.io(li.second);
     }
-    if (ar.loading())
+    if (ar.loading()) {
         draftActive_ = false; // transient within one tick
+        // Captures are round-local scratch, never live at a checkpoint
+        // (the ledger guard enforces that on save).
+        capLog_ = nullptr;
+        capBase_ = 0;
+        capCycle_ = 0;
+    }
 
     // Store buffer: live completion cycles only, oldest first (the
     // ring's head offset is not architectural state).

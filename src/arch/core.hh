@@ -87,7 +87,8 @@ class Core
   public:
     Core(TileId tile, const config::PitonParams &params,
          MemorySystem &mem, const power::EnergyModel &energy,
-         power::EnergyLedger &ledger, double dyn_factor = 1.0);
+         power::EnergyLedger &ledger, power::TileEnergyLedger &tile_energy,
+         double dyn_factor = 1.0);
 
     TileId tileId() const { return tile_; }
 
@@ -218,15 +219,26 @@ class Core
      *  thread switches, store rollbacks) — the per-tile slice of the
      *  chip ledger the telemetry subsystem samples.  Shared-fabric
      *  energy (caches, NoC, off-chip) is charged by MemorySystem and
-     *  is not tile-attributable. */
-    const power::RailEnergy &coreEnergy() const { return coreEnergy_; }
+     *  is not tile-attributable.  Lives in the chip's SoA
+     *  TileEnergyLedger; this is the AoS view of this tile's slot. */
+    power::RailEnergy coreEnergy() const { return tileEnergy_.at(tile_); }
 
-    /** Replay hook for charges captured with kCapturedCoreBit: apply
-     *  the deferred per-tile share (chip run-ahead scheduler only). */
-    void addCapturedCoreEnergy(const power::RailEnergy &e)
+    /**
+     * Divert this core's charges into `log` (entries cycle-tagged
+     * relative to `base`, carrying kCapturedCoreBit) instead of
+     * accumulating, until endCapture().  The chip's run-ahead scheduler
+     * brackets each round with this; because the diverted state is
+     * core-owned, phase-1 slices of different cores capture
+     * concurrently without sharing anything (DESIGN.md §12).  The
+     * core's charge cycle is maintained internally by the run-ahead
+     * loops (capCycle_).
+     */
+    void beginCapture(std::vector<power::CapturedCharge> *log, Cycle base)
     {
-        coreEnergy_ += e;
+        capLog_ = log;
+        capBase_ = base;
     }
+    void endCapture() { capLog_ = nullptr; }
 
     /** Store-buffer occupancy (diagnostics / tests). */
     std::size_t storeBufferDepth(Cycle now) const;
@@ -289,13 +301,23 @@ class Core
     void issue(ThreadState &t, ThreadId tid, Cycle now);
 
     /** Charge to the chip ledger and the per-tile accumulator.
-     *  Inline: this is called once or twice per issued instruction. */
+     *  Inline: this is called once or twice per issued instruction.
+     *  Under a core capture the charge lands in the core-owned log —
+     *  no shared ledger access — which is what makes phase-1 slices
+     *  raceless across shards; replay applies both shares later. */
     void
     charge(power::Category c, const power::RailEnergy &e)
     {
+        if (capLog_) {
+            capLog_->push_back(
+                {e, static_cast<std::uint32_t>(capCycle_ - capBase_),
+                 static_cast<std::uint8_t>(static_cast<std::uint8_t>(c)
+                                           | power::kCapturedCoreBit)});
+            return;
+        }
         if (ledger_.addCore(c, e))
             return; // captured: replay applies the per-tile share
-        coreEnergy_ += e;
+        tileEnergy_.add(tile_, e);
     }
 
     void
@@ -327,7 +349,15 @@ class Core
     isa::LatencyTable lat_;
 
     std::vector<ThreadState> threads_;
-    power::RailEnergy coreEnergy_;
+    /** Chip-owned SoA of per-tile accumulators; this core only ever
+     *  touches slot tile_. */
+    power::TileEnergyLedger &tileEnergy_;
+    /** Active charge-capture log (see beginCapture), or nullptr. */
+    std::vector<power::CapturedCharge> *capLog_ = nullptr;
+    Cycle capBase_ = 0;
+    /** Cycle tag for captured charges; the run-ahead loops set it
+     *  before every event they execute. */
+    Cycle capCycle_ = 0;
     std::uint32_t lastIssued_ = 0;
     bool execDrafting_ = false;
     std::uint64_t threadSwitches_ = 0;

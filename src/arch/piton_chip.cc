@@ -18,12 +18,41 @@ PitonChip::PitonChip(const config::PitonParams &params,
 {
     mem_ = std::make_unique<MemorySystem>(params_, energy_, ledger_,
                                           memory_, seed);
+    tileEnergy_.resize(params_.tileCount);
     cores_.reserve(params_.tileCount);
     for (TileId t = 0; t < params_.tileCount; ++t) {
         cores_.push_back(std::make_unique<Core>(
-            t, params_, *mem_, energy_, ledger_,
+            t, params_, *mem_, energy_, ledger_, tileEnergy_,
             instance_.dynFactor * instance_.tileFactor(t)));
     }
+}
+
+void
+PitonChip::setEngineThreads(unsigned threads)
+{
+    const unsigned resolved = std::min<unsigned>(
+        resolveThreadCount(threads), params_.tileCount);
+    engineThreads_ = std::max(1u, resolved);
+    // The gang is sized to the shard count; drop a stale one and let
+    // the next sharded round rebuild it lazily (single-threaded runs
+    // never pay for worker threads).
+    if (gang_ && gang_->shards() != engineThreads_)
+        gang_.reset();
+    if (engineThreads_ == 1)
+        gang_.reset();
+}
+
+void
+PitonChip::resetEnergy()
+{
+    piton_assert(!ledger_.capturing(),
+                 "resetEnergy called mid-round (capture in flight)");
+    ledger_.reset();
+    tileEnergy_.reset();
+    runAheadRounds_ = 0;
+    for (auto &log : chargeLogs_)
+        log.clear();
+    pauseHeap_.clear();
 }
 
 void
@@ -168,7 +197,7 @@ PitonChip::runFast(Cycle max_cycles)
             // stretch in one contiguous slice, shared-memory ops are
             // serialized in global (cycle, core) order, and the charge
             // replay reconstructs the in-order ledger add sequence.
-            now_ = runAheadRound(first, std::min(first + kRoundCycles,
+            now_ = runAheadRound(first, std::min(first + roundCycles(),
                                                  end));
             scan();
         } else {
@@ -217,6 +246,7 @@ PitonChip::runAheadRound(Cycle start, Cycle lim)
     chargeLogs_.resize(n);
     pauseHeap_.clear();
     Cycle maxLast = start;
+    ++runAheadRounds_;
 
     const auto note = [&](std::size_t i, const Core::AheadResult &r) {
         if (r.ticked && r.last > maxLast)
@@ -232,39 +262,102 @@ PitonChip::runAheadRound(Cycle start, Cycle lim)
 
     // Phase 1: each participating core runs its core-local events in
     // [nextAt_, lim) back to back, pausing before the first op that
-    // would touch the shared memory system.
-    for (std::size_t i = 0; i < n; ++i) {
-        const Cycle e = nextAt_[i];
-        if (e >= lim) // includes kNever
-            continue;
-        ledger_.beginCapture(&chargeLogs_[i], start);
-        note(i, cores_[i]->runAhead(e, lim));
+    // would touch the shared memory system.  Core-local slices touch
+    // only the core's own state and its own tile's L1I (fills come
+    // only from that tile's fetches; an L1I hit charges nothing to the
+    // shared ledger), and every charge is diverted into the core-owned
+    // log — so the slices of different cores share nothing and shard
+    // cleanly.  Each shard owns a fixed contiguous tile range; the
+    // serial note() merge afterwards runs in core-index order, so the
+    // heap contents — and everything downstream — are independent of
+    // the shard count (DESIGN.md §12).
+    const bool sharded = engineThreads_ > 1;
+    if (sharded) {
+        if (!gang_)
+            gang_ = std::make_unique<WorkerGang>(engineThreads_);
+        const unsigned shards = gang_->shards();
+        aheadResults_.resize(n);
+        aheadRan_.assign(n, 0);
+        gang_->run([&](unsigned shard) {
+            const std::size_t lo = n * shard / shards;
+            const std::size_t hi = n * (shard + 1) / shards;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const Cycle e = nextAt_[i];
+                if (e >= lim) // includes kNever
+                    continue;
+                cores_[i]->beginCapture(&chargeLogs_[i], start);
+                aheadResults_[i] = cores_[i]->runAhead(e, lim);
+                aheadRan_[i] = 1;
+            }
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            if (aheadRan_[i])
+                note(i, aheadResults_[i]);
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Cycle e = nextAt_[i];
+            if (e >= lim) // includes kNever
+                continue;
+            cores_[i]->beginCapture(&chargeLogs_[i], start);
+            note(i, cores_[i]->runAhead(e, lim));
+        }
     }
 
-    // Phase 2: execute pending shared-memory ops in global (cycle,
-    // core index) order — the order in-order stepping would use — then
-    // let each core run ahead again until its next shared op.  Keys
-    // pushed while draining are always larger than the key popped, so
-    // the pop sequence stays globally sorted.
+    // Phase 2 (always serial): execute pending shared-memory ops in
+    // global (cycle, core index) order — the order in-order stepping
+    // would use — then let each core run ahead again until its next
+    // shared op.  Keys pushed while draining are always larger than
+    // the key popped, so the pop sequence stays globally sorted.  The
+    // resumed core's charges keep appending to its own log; the memory
+    // system's charges ride the chip ledger's capture into that same
+    // log.
     while (!pauseHeap_.empty()) {
         std::pop_heap(pauseHeap_.begin(), pauseHeap_.end(),
                       std::greater<>{});
         const auto [c, i] = pauseHeap_.back();
         pauseHeap_.pop_back();
+        cores_[i]->beginCapture(&chargeLogs_[i], start);
         ledger_.beginCapture(&chargeLogs_[i], start);
         note(i, cores_[i]->resumeShared(c, lim));
     }
     ledger_.endCapture();
+    for (auto &core : cores_)
+        core->endCapture();
 
     // Phase 3: replay the captured charges cycle-major, core-minor —
     // the exact add order of in-order stepping, so the ledger's
     // floating-point sums are bit-identical to the legacy path.  Each
-    // core's log is already sorted by cycle; this walks the distinct
-    // charge cycles (as offsets from `start`), skipping gaps.
-    ledger_.replayCaptures(
-        chargeLogs_, logPos_, [this](std::size_t i, const power::RailEnergy &e) {
-            cores_[i]->addCapturedCoreEnergy(e);
+    // core's log is already sorted by cycle; the walk visits the
+    // distinct charge cycles (as offsets from `start`), skipping gaps.
+    //
+    // Sharded rounds split the replay: the category/total merge is one
+    // global FP chain and stays serial (shard 0), while the per-tile
+    // sums — each of which depends only on its own core's log order —
+    // are summed by the other shards in parallel over the same
+    // read-only logs.  Serial and split replay perform the identical
+    // double additions in the identical order per accumulator.
+    if (sharded) {
+        const unsigned shards = gang_->shards();
+        gang_->run([&](unsigned shard) {
+            if (shard == 0) {
+                ledger_.replayCategoryCaptures(chargeLogs_, logPos_);
+                return;
+            }
+            const unsigned workers = shards - 1;
+            const std::size_t lo = n * (shard - 1) / workers;
+            const std::size_t hi = n * shard / workers;
+            for (std::size_t i = lo; i < hi; ++i)
+                for (const auto &cc : chargeLogs_[i])
+                    if (cc.cat & power::kCapturedCoreBit)
+                        tileEnergy_.add(i, cc.e);
         });
+    } else {
+        ledger_.replayCaptures(
+            chargeLogs_, logPos_,
+            [this](std::size_t i, const power::RailEnergy &e) {
+                tileEnergy_.add(i, e);
+            });
+    }
     for (auto &log : chargeLogs_)
         log.clear();
     return maxLast;
@@ -323,9 +416,9 @@ std::vector<double>
 PitonChip::tileCoreEnergyJ() const
 {
     std::vector<double> out;
-    out.reserve(cores_.size());
-    for (const auto &c : cores_)
-        out.push_back(c->coreEnergy().onChipCoreAndSram());
+    out.reserve(tileEnergy_.size());
+    for (std::size_t t = 0; t < tileEnergy_.size(); ++t)
+        out.push_back(tileEnergy_.onChipCoreAndSramJ(t));
     return out;
 }
 
@@ -386,6 +479,12 @@ PitonChip::serialize(ckpt::Archive &ar)
     ledger_.serialize(ar);
     ar.endSection();
 
+    // Per-tile SoA accumulators (format v2; previously each core wrote
+    // its own RailEnergy inside chip.cores).
+    ar.beginSection("chip.tile_energy");
+    tileEnergy_.serialize(ar);
+    ar.endSection();
+
     ar.beginSection("chip.memory");
     memory_.serialize(ar);
     ar.endSection();
@@ -402,7 +501,16 @@ PitonChip::serialize(ckpt::Archive &ar)
     ar.endSection();
 
     // nextAt_ and the run-ahead scratch are rebuilt on every run()
-    // entry; they carry no cross-run state.
+    // entry; they carry no cross-run state.  Restoring into a chip
+    // that already ran sharded rounds must not inherit that run's
+    // scratch or counters either (engineThreads_ itself is a speed
+    // knob and deliberately survives, like fastPath_).
+    if (ar.loading()) {
+        runAheadRounds_ = 0;
+        for (auto &log : chargeLogs_)
+            log.clear();
+        pauseHeap_.clear();
+    }
 }
 
 std::vector<std::uint8_t>

@@ -61,8 +61,10 @@ inline constexpr char kMagic[8] = {'P', 'I', 'T', 'O', 'N', 'C', 'K', 'P'};
 
 /** Format version; bump on any layout change (no cross-version
  *  compatibility: a checkpoint is a resume artifact, not an exchange
- *  format — see DESIGN.md §10 for the policy). */
-inline constexpr std::uint32_t kFormatVersion = 1;
+ *  format — see DESIGN.md §10 for the policy).
+ *  v2: per-tile energies moved out of chip.cores into the SoA
+ *  chip.tile_energy section. */
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /** CRC32 (IEEE 802.3, reflected) of a byte range. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t len);

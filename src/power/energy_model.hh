@@ -23,6 +23,7 @@
 #ifndef PITON_POWER_ENERGY_MODEL_HH
 #define PITON_POWER_ENERGY_MODEL_HH
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -291,6 +292,84 @@ static_assert(static_cast<std::size_t>(Category::NumCategories)
                   <= kCapturedCoreBit,
               "category must fit beside the core tag bit");
 
+/**
+ * Per-tile energy accumulators in structure-of-arrays layout: one
+ * densely packed double array per rail, indexed by tile.  The sharded
+ * replay walks one tile's log at a time, touching three adjacent
+ * scalars instead of a RailEnergy embedded in each Core (whose
+ * neighbours in memory are the core's thread state — a cache line the
+ * replay has no other use for).  Each slot accumulates exactly the
+ * per-rail double chains Core's old `coreEnergy_ += e` performed, so
+ * sums are bit-identical to the AoS layout.
+ */
+class TileEnergyLedger
+{
+  public:
+    void
+    resize(std::size_t tiles)
+    {
+        vdd_.assign(tiles, 0.0);
+        vcs_.assign(tiles, 0.0);
+        vio_.assign(tiles, 0.0);
+    }
+
+    std::size_t size() const { return vdd_.size(); }
+
+    void
+    add(std::size_t tile, const RailEnergy &e)
+    {
+        vdd_[tile] += e.get(Rail::Vdd);
+        vcs_[tile] += e.get(Rail::Vcs);
+        vio_[tile] += e.get(Rail::Vio);
+    }
+
+    /** Reassembled per-tile total (telemetry-facing AoS view). */
+    RailEnergy
+    at(std::size_t tile) const
+    {
+        RailEnergy e;
+        e.add(Rail::Vdd, vdd_[tile]);
+        e.add(Rail::Vcs, vcs_[tile]);
+        e.add(Rail::Vio, vio_[tile]);
+        return e;
+    }
+
+    /** VDD + VCS, the per-tile slice the paper's EPI figures report. */
+    double
+    onChipCoreAndSramJ(std::size_t tile) const
+    {
+        return vdd_[tile] + vcs_[tile];
+    }
+
+    void
+    reset()
+    {
+        std::fill(vdd_.begin(), vdd_.end(), 0.0);
+        std::fill(vcs_.begin(), vcs_.end(), 0.0);
+        std::fill(vio_.begin(), vio_.end(), 0.0);
+    }
+
+    /** Checkpoint hook: raw per-rail accumulator bits, tile-major
+     *  within each rail.  The tile count is construction-time state
+     *  (fingerprinted in chip.meta), so only the payload is written. */
+    template <typename Ar>
+    void
+    serialize(Ar &ar)
+    {
+        for (auto &v : vdd_)
+            ar.io(v);
+        for (auto &v : vcs_)
+            ar.io(v);
+        for (auto &v : vio_)
+            ar.io(v);
+    }
+
+  private:
+    std::vector<double> vdd_;
+    std::vector<double> vcs_;
+    std::vector<double> vio_;
+};
+
 /** Per-category, per-rail energy accumulator. */
 class EnergyLedger
 {
@@ -395,6 +474,22 @@ class EnergyLedger
             d = next_d;
         }
         total_ = tot;
+    }
+
+    /**
+     * The category/total half of replayCaptures only: the per-actor
+     * kCapturedCoreBit sums are left for the caller to apply from the
+     * same logs (the sharded engine computes them in parallel while
+     * this serial merge runs — each actor's accumulator depends only on
+     * its own log's order, so splitting the two walks preserves every
+     * FP add chain bit for bit; DESIGN.md §12).
+     */
+    template <typename Logs>
+    void
+    replayCategoryCaptures(const Logs &logs, std::vector<std::size_t> &pos)
+    {
+        replayCaptures(logs, pos,
+                       [](std::size_t, const RailEnergy &) {});
     }
 
     const RailEnergy &total() const { return total_; }

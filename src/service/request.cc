@@ -63,6 +63,7 @@ ExperimentRequest::systemOptions() const
     opts.cyclesPerSample = std::max<std::uint64_t>(1, cyclesPerSample);
     opts.warmupCycles = warmupCycles;
     opts.fastPath = fastPath;
+    opts.engineThreads = engineThreads;
     return opts;
 }
 
@@ -80,6 +81,10 @@ ExperimentRequest::canonicalize()
         throw ServiceError("too many voltage points");
 
     // Engine choice is a speed knob, not a result knob (DESIGN.md §9).
+    // engineThreads is a speed knob too (§12) but, unlike fastPath,
+    // has no universally-right value, so canonicalize preserves the
+    // client's choice for execution; canonicalBytes() strips it (like
+    // deadlineMs) so it never splits the result cache.
     fastPath = true;
 
     workload.cores = clampRange<std::uint32_t>(workload.cores, 1, 25);
@@ -158,6 +163,7 @@ ExperimentRequest::encode(WireWriter &w) const
     w.u64(cyclesPerSample);
     w.u64(warmupCycles);
     w.u8(fastPath ? 1 : 0);
+    w.u32(engineThreads); // wire v2
     w.u16(workload.bench);
     w.u32(workload.cores);
     w.u32(workload.threadsPerCore);
@@ -190,6 +196,7 @@ ExperimentRequest::decode(WireReader &r)
     req.cyclesPerSample = r.u64();
     req.warmupCycles = r.u64();
     req.fastPath = r.u8() != 0;
+    req.engineThreads = r.u32(); // wire v2
     req.workload.bench = r.u16();
     req.workload.cores = r.u32();
     req.workload.threadsPerCore = r.u32();
@@ -220,7 +227,9 @@ ExperimentRequest::canonicalBytes() const
 {
     ExperimentRequest canon = *this;
     canon.canonicalize();
-    canon.deadlineMs = 0; // QoS, not identity
+    canon.deadlineMs = 0;     // QoS, not identity
+    canon.engineThreads = 1;  // speed, not identity (bit-identical
+                              // results at any thread count, §12)
     WireWriter w;
     canon.encode(w);
     return w.take();

@@ -48,8 +48,9 @@ class ServiceError : public std::runtime_error
     {}
 };
 
-/** Bumped on any frame-layout or body-encoding change. */
-inline constexpr std::uint16_t kWireVersion = 1;
+/** Bumped on any frame-layout or body-encoding change.
+ *  v2: ExperimentRequest grew engineThreads (u32, after fastPath). */
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /** Frame magic "PSRV" (little-endian u32 on the wire). */
 inline constexpr std::uint32_t kFrameMagic = 0x56525350u;

@@ -62,6 +62,13 @@ struct SystemOptions
      *  exists for equivalence testing and debugging). */
     bool fastPath = true;
 
+    /** Worker threads for the fast path's sharded run-ahead rounds
+     *  (DESIGN.md §12): tiles are sharded over a resident gang; 0
+     *  means all hardware threads, and the chip clamps to the tile
+     *  count.  A speed knob like fastPath: results are bit-identical
+     *  at any value (tests/test_fastpath_equiv.cc sweeps 1/2/8). */
+    unsigned engineThreads = 1;
+
     power::EnergyParams energyParams = power::defaultEnergyParams();
     thermal::ThermalParams thermalParams;
 };

@@ -12,6 +12,7 @@
  * fail with ckpt::CheckpointError, never undefined behaviour.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -438,6 +439,100 @@ TEST(CheckpointMalformed, RecorderRicherThanImageThrows)
     rec.defineSeries("custom.extra", telemetry::Unit::Count,
                      telemetry::Downsample::Sum);
     EXPECT_THROW(sys.restoreBytes(bytes), ckpt::CheckpointError);
+}
+
+// ---- sharded-engine state: round trip, corruption, reset -------------
+
+sim::SystemOptions
+shardedOpts(unsigned engine_threads)
+{
+    sim::SystemOptions opts;
+    opts.fastPath = true;
+    opts.engineThreads = engine_threads;
+    return opts;
+}
+
+/** A checkpoint saved from a sharded (8-thread) run must restore at
+ *  any thread count — including into a *used* chip whose shard
+ *  accounting (per-tile SoA ledgers, capture logs, round counters) is
+ *  stale from a different workload — and resume bit-identically to the
+ *  uninterrupted single-threaded run. */
+TEST(CheckpointSharded, ThreadedSaveRestoresAtAnyThreadCount)
+{
+    const auto straight = runStraight(workloads::Microbench::Int, true);
+    for (const unsigned resume_threads : {1u, 8u}) {
+        SystemFingerprint fp;
+        std::vector<std::uint8_t> bytes;
+        {
+            sim::System sys(shardedOpts(8));
+            const auto programs = workloads::loadMicrobench(
+                sys, workloads::Microbench::Int, 25, 2, 0);
+            telemetry::TelemetryRecorder rec;
+            sys.attachTelemetry(&rec);
+            recordWindows(sys, kPrefixWindows, fp);
+            bytes = sys.saveBytes();
+        }
+        sim::System resumed(shardedOpts(resume_threads));
+        const auto decoy = workloads::loadMicrobench(
+            resumed, workloads::Microbench::Hist, 25, 2, 0);
+        resumed.pitonChip().run(10000); // dirty the shard state
+        if (resume_threads > 1)
+            EXPECT_GT(resumed.pitonChip().runAheadRounds(), 0u);
+        telemetry::TelemetryRecorder rec;
+        resumed.attachTelemetry(&rec);
+        resumed.restoreBytes(bytes);
+        EXPECT_EQ(resumed.pitonChip().runAheadRounds(), 0u);
+        recordWindows(resumed, kSuffixWindows, fp);
+        finishFingerprint(resumed, rec, fp);
+        EXPECT_TRUE(fp == straight)
+            << "resume threads=" << resume_threads;
+    }
+}
+
+/** The chip.tile_energy section (format v2) is CRC-protected like any
+ *  other: a flipped bit inside it must throw, never silently skew the
+ *  per-tile accumulators. */
+TEST(CheckpointSharded, TileEnergySectionCorruptionThrows)
+{
+    auto bytes = smallImage();
+    static const char kName[] = "chip.tile_energy";
+    const auto it = std::search(bytes.begin(), bytes.end(), kName,
+                                kName + sizeof(kName) - 1);
+    ASSERT_NE(it, bytes.end()) << "chip.tile_energy section missing";
+    const std::size_t at =
+        static_cast<std::size_t>(it - bytes.begin()) + sizeof(kName) + 16;
+    ASSERT_LT(at, bytes.size());
+    bytes[at] ^= 0x01;
+    sim::System sys(optsFor(true));
+    EXPECT_THROW(sys.restoreBytes(bytes), ckpt::CheckpointError);
+}
+
+/** resetEnergy() must clear every piece of sharded accounting: the
+ *  global ledger, the per-tile SoA ledger, and the round counter. */
+TEST(CheckpointSharded, ResetEnergyClearsShardState)
+{
+    const isa::Program p = chipTestProgram();
+    config::PitonParams params;
+    power::EnergyModel energy;
+    arch::PitonChip chip(params, chip::makeChip(2), energy, 17);
+    chip.setEngineThreads(8);
+    for (TileId tile = 0; tile < 4; ++tile)
+        chip.loadProgram(tile, 0, &p);
+    chip.run(20000);
+    EXPECT_GT(chip.runAheadRounds(), 0u);
+    double accrued = 0.0;
+    for (const double e : chip.tileCoreEnergyJ())
+        accrued += e;
+    EXPECT_GT(accrued, 0.0);
+
+    chip.resetEnergy();
+    EXPECT_EQ(chip.runAheadRounds(), 0u);
+    for (const double e : chip.tileCoreEnergyJ())
+        EXPECT_EQ(bitsOf(e), bitsOf(0.0));
+    const auto &ledger = chip.ledger();
+    for (std::size_t rail = 0; rail < power::kNumRails; ++rail)
+        EXPECT_EQ(
+            ledger.total().get(static_cast<power::Rail>(rail)), 0.0);
 }
 
 // ---- restore marker and warm-start semantics -------------------------

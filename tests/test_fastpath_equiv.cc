@@ -111,10 +111,11 @@ expectEqualFingerprints(const RunFingerprint &fast,
 /** Run one microbenchmark on a full 25-core system. */
 RunFingerprint
 runMicrobench(workloads::Microbench m, bool fast_path, bool drafting,
-              Cycle cycles)
+              Cycle cycles, unsigned engine_threads = 1)
 {
     sim::SystemOptions opts;
     opts.fastPath = fast_path;
+    opts.engineThreads = engine_threads;
     sim::System sys(opts);
     if (drafting)
         sys.pitonChip().setExecDrafting(true);
@@ -123,26 +124,30 @@ runMicrobench(workloads::Microbench m, bool fast_path, bool drafting,
     return fingerprint(sys.pitonChip(), r);
 }
 
-class FastPathEquivalence
-    : public ::testing::TestWithParam<std::tuple<workloads::Microbench, bool>>
+/** (microbench, drafting, engineThreads): every workload/drafting
+ *  combination runs the sharded engine at 1, 2, and 8 threads against
+ *  the legacy baseline, so thread-count invariance of the charge
+ *  replay is asserted bit for bit (DESIGN.md §12). */
+using EquivParam = std::tuple<workloads::Microbench, bool, unsigned>;
+
+class FastPathEquivalence : public ::testing::TestWithParam<EquivParam>
 {
 };
 
 TEST_P(FastPathEquivalence, MicrobenchIsBitIdentical)
 {
-    const auto [bench, drafting] = GetParam();
-    const auto fast = runMicrobench(bench, true, drafting, 30000);
+    const auto [bench, drafting, threads] = GetParam();
+    const auto fast = runMicrobench(bench, true, drafting, 30000, threads);
     const auto legacy = runMicrobench(bench, false, drafting, 30000);
     expectEqualFingerprints(fast, legacy);
 }
 
 std::string
-equivParamName(
-    const ::testing::TestParamInfo<std::tuple<workloads::Microbench, bool>>
-        &info)
+equivParamName(const ::testing::TestParamInfo<EquivParam> &info)
 {
     return std::string(workloads::microbenchName(std::get<0>(info.param)))
-           + (std::get<1>(info.param) ? "ExecD" : "");
+           + (std::get<1>(info.param) ? "ExecD" : "") + "T"
+           + std::to_string(std::get<2>(info.param));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -150,7 +155,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(workloads::Microbench::Int,
                                          workloads::Microbench::HP,
                                          workloads::Microbench::Hist),
-                       ::testing::Bool()),
+                       ::testing::Bool(),
+                       ::testing::Values(1u, 2u, 8u)),
     equivParamName);
 
 /** Store-buffer pressure: back-to-back stores overflow the 8-entry
@@ -185,9 +191,10 @@ TEST(FastPathEquivalenceStress, StoreBufferPressureIsBitIdentical)
         halt
     )");
 
-    auto run = [&](bool fast_path) {
+    auto run = [&](bool fast_path, unsigned engine_threads) {
         sim::SystemOptions opts;
         opts.fastPath = fast_path;
+        opts.engineThreads = engine_threads;
         sim::System sys(opts);
         for (TileId tile = 0; tile < 25; ++tile) {
             sys.loadProgram(tile, 0, &pressure);
@@ -196,19 +203,22 @@ TEST(FastPathEquivalenceStress, StoreBufferPressureIsBitIdentical)
         const auto r = sys.pitonChip().run(200000);
         return fingerprint(sys.pitonChip(), r);
     };
-    const auto fast = run(true);
-    const auto legacy = run(false);
-    EXPECT_TRUE(fast.allHalted);
-    expectEqualFingerprints(fast, legacy);
+    const auto legacy = run(false, 1);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        const auto fast = run(true, threads);
+        EXPECT_TRUE(fast.allHalted) << "threads=" << threads;
+        expectEqualFingerprints(fast, legacy);
+    }
 }
 
 /** The telemetry pipeline samples ledger deltas per window; feeding it
  *  from both paths must produce byte-identical CSV exports. */
 TEST(FastPathEquivalenceStress, TelemetryCsvIsByteIdentical)
 {
-    auto csv = [](bool fast_path) {
+    auto csv = [](bool fast_path, unsigned engine_threads = 1) {
         sim::SystemOptions opts;
         opts.fastPath = fast_path;
+        opts.engineThreads = engine_threads;
         sim::System sys(opts);
         telemetry::TelemetryRecorder rec;
         sys.attachTelemetry(&rec);
@@ -224,6 +234,29 @@ TEST(FastPathEquivalenceStress, TelemetryCsvIsByteIdentical)
     const std::string legacy = csv(false);
     ASSERT_FALSE(fast.empty());
     EXPECT_EQ(fast, legacy);
+    // The per-tile series flow through the SoA ledger's sharded sums;
+    // an 8-way run must still export the identical bytes.
+    EXPECT_EQ(csv(true, 8), legacy);
+}
+
+/** The sharded engine must actually shard: a multithreaded run on the
+ *  all-cores-active workload executes run-ahead rounds (otherwise the
+ *  thread-sweep tests above would be vacuous) and resolves the
+ *  requested thread count. */
+TEST(FastPathEquivalenceStress, ShardedRoundsActuallyRun)
+{
+    sim::SystemOptions opts;
+    opts.engineThreads = 8;
+    sim::System sys(opts);
+    EXPECT_EQ(sys.pitonChip().engineThreads(), 8u);
+    const auto programs = workloads::loadMicrobench(
+        sys, workloads::Microbench::Int, 25, 2, 0);
+    sys.pitonChip().run(30000);
+    EXPECT_GT(sys.pitonChip().runAheadRounds(), 0u);
+    // 0 = all hardware threads, clamped to the tile count.
+    sys.pitonChip().setEngineThreads(0);
+    EXPECT_GE(sys.pitonChip().engineThreads(), 1u);
+    EXPECT_LE(sys.pitonChip().engineThreads(), 25u);
 }
 
 } // namespace

@@ -282,11 +282,13 @@ struct ChipUnderTest
     power::EnergyModel energy;
     arch::PitonChip chip;
 
-    ChipUnderTest(const isa::Program *p, bool fast, bool drafting)
+    ChipUnderTest(const isa::Program *p, bool fast, bool drafting,
+                  unsigned engine_threads = 1)
         : params(makeParams()),
           chip(params, chip::makeChip(2), energy, 17)
     {
         chip.setFastPath(fast);
+        chip.setEngineThreads(engine_threads);
         if (drafting)
             chip.setExecDrafting(true);
         if (p != nullptr)
@@ -344,12 +346,26 @@ runOneSeed(std::uint64_t seed)
         << "fast vs legacy divergence\n"
         << disassemble(p, seed);
 
-    // Checkpoint at the split, restore into a fresh chip (alternating
-    // restore engine), resume; must land on the same final state.
-    ChipUnderTest saver(&p, true, drafting);
+    // The sharded engine at >1 thread must agree bit-for-bit too
+    // (thread-count invariance of the charge replay, DESIGN.md §12;
+    // requests above the tile count clamp, so 8 exercises the clamp).
+    const unsigned mt_threads = (seed % 3 == 0) ? 8u : 2u;
+    ChipUnderTest threaded(&p, true, drafting, mt_threads);
+    threaded.chip.run(split);
+    threaded.chip.run(kMaxCycles);
+    EXPECT_TRUE(fingerprint(threaded.chip) == ref)
+        << "sharded-engine divergence at " << mt_threads << " threads\n"
+        << disassemble(p, seed);
+
+    // Checkpoint at the split — taken from a *sharded* run, so stale
+    // per-shard accounting would be caught — and restore into a fresh
+    // chip (alternating restore engine), resume; must land on the same
+    // final state.
+    ChipUnderTest saver(&p, true, drafting, mt_threads);
     saver.chip.run(split);
     const std::vector<std::uint8_t> image = saver.chip.saveBytes();
-    ChipUnderTest resumed(nullptr, (seed % 2) == 0, drafting);
+    ChipUnderTest resumed(nullptr, (seed % 2) == 0, drafting,
+                          (seed % 2) == 0 ? mt_threads : 1u);
     resumed.chip.restoreBytes(image);
     resumed.chip.run(kMaxCycles);
     EXPECT_TRUE(fingerprint(resumed.chip) == ref)
