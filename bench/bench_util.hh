@@ -54,6 +54,12 @@ struct BenchArgs
     /** Checkpoint file to resume from (--resume-from; empty = cold
      *  start). */
     std::string resumeFrom;
+    /** DVFS governor policy (--governor; empty = bench default, which
+     *  is the static-table "none" policy). */
+    std::string governor;
+    /** Scenario kv-file (--scenario; empty = the bench's built-in
+     *  scenario).  See src/governor/scenario.hh for the schema. */
+    std::string scenario;
     /** Extra boolean flags seen (from the caller's allow-list). */
     std::vector<std::string> flags;
     /** Extra valued options seen (from the caller's allow-list), in
@@ -93,7 +99,8 @@ usageError(const char *prog, const char *msg, const char *arg)
                  "usage: %s [--samples N] [--threads N]"
                  " [--engine-threads N] [--out DIR]"
                  " [--checkpoint-every N] [--checkpoint-out FILE]"
-                 " [--resume-from FILE] [extra flags] [positionals]\n",
+                 " [--resume-from FILE] [--governor POLICY]"
+                 " [--scenario FILE] [extra flags] [positionals]\n",
                  prog);
     std::exit(2);
 }
@@ -173,6 +180,16 @@ parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
             if (next == nullptr)
                 detail::usageError(prog, "missing value for", a);
             args.resumeFrom = next;
+            ++i;
+        } else if (std::strcmp(a, "--governor") == 0) {
+            if (next == nullptr)
+                detail::usageError(prog, "missing value for", a);
+            args.governor = next;
+            ++i;
+        } else if (std::strcmp(a, "--scenario") == 0) {
+            if (next == nullptr)
+                detail::usageError(prog, "missing value for", a);
+            args.scenario = next;
             ++i;
         } else if (a[0] == '-') {
             bool known = false;

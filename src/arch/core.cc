@@ -218,6 +218,12 @@ template Core::TickOutcome Core::tickImpl<true>(Cycle);
 bool
 Core::tick(Cycle now)
 {
+    // Duty-gated: no issue, and also no lazy store-buffer pruning — the
+    // fast path never visits a gated core (nextEventCycle is kNever),
+    // so the legacy path must not do bookkeeping here either.  The
+    // drain is lazy/idempotent anyway; skipping it is invisible.
+    if (dvfsGated_)
+        return false;
     return tickImpl<false>(now) == TickOutcome::Picked;
 }
 

@@ -126,11 +126,36 @@ class Core
      */
     bool tick(Cycle now);
 
+    /**
+     * DVFS duty gate (sim::System's per-tile frequency actuation,
+     * DESIGN.md §13): a gated core reports no events and ignores
+     * tick(), so neither engine ever runs it.  Only toggled between
+     * run() calls — gating never changes inside a run window, which is
+     * what keeps the charge-replay order independent of it.  Purely a
+     * scheduling veto: thread state, store buffer, and statistics are
+     * untouched, so ungating resumes exactly where the core paused.
+     */
+    void setDvfsGated(bool gated) { dvfsGated_ = gated; }
+    bool dvfsGated() const { return dvfsGated_; }
+
+    /** Total memory-stall cycles across this core's threads (the
+     *  per-tile cache-pressure signal the governors consume). */
+    std::uint64_t
+    memStallCycles() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : threads_)
+            n += t.memStallCycles;
+        return n;
+    }
+
     /** Earliest future cycle at which this core can do work, or
      *  `kNever` when all threads are idle/halted. */
     static constexpr Cycle kNever = ~Cycle{0};
     Cycle nextEventCycle(Cycle now) const
     {
+        if (dvfsGated_)
+            return kNever;
         Cycle next = kNever;
         for (const auto &t : threads_) {
             if (t.status != ThreadStatus::Ready)
@@ -359,6 +384,9 @@ class Core
      *  before every event they execute. */
     Cycle capCycle_ = 0;
     std::uint32_t lastIssued_ = 0;
+    /** DVFS duty gate (see setDvfsGated); not checkpointed — the
+     *  System re-derives it from its duty counters every window. */
+    bool dvfsGated_ = false;
     bool execDrafting_ = false;
     std::uint64_t threadSwitches_ = 0;
     bool draftActive_ = false; ///< current instruction issues drafted

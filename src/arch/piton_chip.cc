@@ -432,6 +432,25 @@ PitonChip::tileInsts() const
     return out;
 }
 
+bool
+PitonChip::allThreadsDone() const
+{
+    for (const auto &c : cores_)
+        if (!c->allThreadsDone())
+            return false;
+    return true;
+}
+
+std::vector<std::uint64_t>
+PitonChip::tileMemStallCycles() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(cores_.size());
+    for (const auto &c : cores_)
+        out.push_back(c->memStallCycles());
+    return out;
+}
+
 std::uint32_t
 PitonChip::activeThreads() const
 {

@@ -128,6 +128,22 @@ class PitonChip
     /** Number of threads currently in the Ready state. */
     std::uint32_t activeThreads() const;
 
+    /** True when no core has a Ready thread (loaded work all halted).
+     *  Unlike run()'s allHalted this ignores DVFS gating, so it is the
+     *  ground truth for "is the workload finished". */
+    bool allThreadsDone() const;
+
+    /**
+     * DVFS duty gate for one tile (Core::setDvfsGated).  Only valid
+     * between run() calls; the governed System drives this every
+     * sample window (DESIGN.md §13).
+     */
+    void setTileGated(TileId t, bool gated) { cores_[t]->setDvfsGated(gated); }
+    bool tileGated(TileId t) const { return cores_[t]->dvfsGated(); }
+
+    /** Per-tile cumulative memory-stall cycles (governor telemetry). */
+    std::vector<std::uint64_t> tileMemStallCycles() const;
+
     /** Per-tile cumulative core-local energy (J, VDD+VCS): the
      *  tile-resolved snapshot the telemetry subsystem diffs per
      *  sample window (see Core::coreEnergy for what it covers). */

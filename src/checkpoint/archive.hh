@@ -63,8 +63,10 @@ inline constexpr char kMagic[8] = {'P', 'I', 'T', 'O', 'N', 'C', 'K', 'P'};
  *  compatibility: a checkpoint is a resume artifact, not an exchange
  *  format — see DESIGN.md §10 for the policy).
  *  v2: per-tile energies moved out of chip.cores into the SoA
- *  chip.tile_energy section. */
-inline constexpr std::uint32_t kFormatVersion = 2;
+ *  chip.tile_energy section.
+ *  v3: optional sys.governor section (DVFS control-loop state) and the
+ *  Volts/Amps telemetry units. */
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /** CRC32 (IEEE 802.3, reflected) of a byte range. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t len);

@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <string>
 
@@ -25,6 +27,18 @@ tileSeriesName(std::size_t tile)
     return n;
 }
 
+/** "power.rail.vdd_w" etc. (railName() spells rails in caps). */
+std::string
+railSeriesName(power::Rail r, const char *suffix)
+{
+    std::string n = telemetry::schema::kPowerRailPrefix;
+    for (const char *p = power::railName(r); *p != '\0'; ++p)
+        n += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    n += suffix;
+    return n;
+}
+
 } // namespace
 
 System::System(SystemOptions opts)
@@ -32,6 +46,8 @@ System::System(SystemOptions opts)
       energy_(opts.energyParams), board_(opts.seed ^ 0xB0A2D),
       thermal_(opts.thermalParams)
 {
+    effVddV_ = opts_.vddV;
+    effClockMhz_ = opts_.coreClockMhz;
     energy_.setOperatingPoint(opts_.vddV, opts_.vcsV);
     chip_ = std::make_unique<arch::PitonChip>(opts_.cfg.piton, instance_,
                                               energy_, opts_.seed);
@@ -53,9 +69,13 @@ System::loadProgram(TileId tile, ThreadId tid, const isa::Program *p,
 power::RailEnergy
 System::clockTreePowerW() const
 {
+    // Hard-gated tiles have their local clock grid stopped, so they
+    // draw no clock-tree power (duty-gated tiles still do on their
+    // ungated windows; the factor tracks the current window's gates).
     const power::RailEnergy per_cycle = energy_.idleCycleEnergy();
-    return per_cycle.scaled(static_cast<double>(opts_.cfg.piton.tileCount)
-                            * coreClockHz() * instance_.dynFactor);
+    return per_cycle.scaled(
+        static_cast<double>(opts_.cfg.piton.tileCount - gatedTiles_)
+        * coreClockHz() * instance_.dynFactor);
 }
 
 double
@@ -82,6 +102,8 @@ std::array<double, 3>
 System::windowTruePowers(Cycle window_cycles)
 {
     piton_assert(window_cycles > 0, "empty sample window");
+    if (gov_ != nullptr)
+        applyGovernorGates();
     chip_->run(window_cycles);
     const power::RailEnergy now_total = chip_->ledger().total();
     const power::RailEnergy delta = now_total - prevLedger_;
@@ -104,6 +126,9 @@ System::windowTruePowers(Cycle window_cycles)
     thermal_.step(p[0] + p[1], window_s);
     if (telem_)
         recordWindowTelemetry(window_s, p, delta, clock_w, leak_w);
+    if (gov_ != nullptr)
+        governorEpochWindow(window_cycles, window_s, delta, clock_w,
+                            leak_w);
     sampleClockS_ += window_s;
     return p;
 }
@@ -159,6 +184,15 @@ System::attachTelemetry(telemetry::TelemetryRecorder *rec)
                                     Downsample::Sum);
     tids_.activeThreads = rec->defineSeries(ts::kChipActiveThreads,
                                             Unit::Count, Downsample::Mean);
+    for (std::size_t r = 0; r < power::kNumRails; ++r) {
+        const auto rail = static_cast<power::Rail>(r);
+        tids_.railW[r] = rec->defineSeries(railSeriesName(rail, "_w"),
+                                           Unit::Watts, Downsample::Mean);
+        tids_.railV[r] = rec->defineSeries(railSeriesName(rail, "_v"),
+                                           Unit::Volts, Downsample::Mean);
+        tids_.railA[r] = rec->defineSeries(railSeriesName(rail, "_a"),
+                                           Unit::Amps, Downsample::Mean);
+    }
     tids_.tileJ.clear();
     prevTileJ_.clear();
     if (rec->config().perTile) {
@@ -223,6 +257,12 @@ System::recordWindowTelemetry(double window_s,
     prevInsts_ = insts_now;
     rec(tids_.activeThreads,
         static_cast<double>(chip_->activeThreads()));
+    const std::array<double, 3> rail_v{effVddV_, opts_.vcsV, opts_.vioV};
+    for (std::size_t r = 0; r < power::kNumRails; ++r) {
+        rec(tids_.railW[r], true_p[r]);
+        rec(tids_.railV[r], rail_v[r]);
+        rec(tids_.railA[r], true_p[r] / rail_v[r]);
+    }
     if (!tids_.tileJ.empty()) {
         const std::vector<double> tile_now = chip_->tileCoreEnergyJ();
         for (std::size_t i = 0; i < tids_.tileJ.size(); ++i) {
@@ -230,6 +270,217 @@ System::recordWindowTelemetry(double window_s,
             prevTileJ_[i] = tile_now[i];
         }
     }
+}
+
+void
+System::attachGovernor(governor::Governor *gov)
+{
+    gov_ = gov;
+    if (gov_ == nullptr) {
+        // Detach: drop every gate so ungoverned stepping resumes.
+        for (TileId t = 0; t < opts_.cfg.piton.tileCount; ++t)
+            chip_->setTileGated(t, false);
+        gatedTiles_ = 0;
+        return;
+    }
+    governor::Platform plat;
+    plat.piton = &opts_.cfg.piton;
+    plat.vf = power::VfParams{};
+    plat.speedFactor = instance_.speedFactor;
+    plat.nominalVddV = effVddV_;
+    plat.nominalFreqMhz = effClockMhz_;
+    gov_->init(plat);
+    snapshotGovernorBaselines();
+}
+
+void
+System::snapshotGovernorBaselines()
+{
+    piton_assert(gov_ != nullptr, "governor baselines without governor");
+    const std::uint32_t n = opts_.cfg.piton.tileCount;
+    const double step = gov_->vfModel().params().freqStepMhz;
+    dutyDen_ = static_cast<std::uint32_t>(
+        std::max<long long>(1, std::llround(effClockMhz_ / step)));
+    dutyNum_.assign(n, dutyDen_);
+    dutyAcc_.assign(n, 0);
+    tileFreqCmd_.assign(n, effClockMhz_);
+    gatedTiles_ = 0;
+    for (TileId t = 0; t < n; ++t)
+        chip_->setTileGated(t, false);
+    epochWindow_ = 0;
+    epochCycles_ = 0;
+    epochTimeS_ = 0.0;
+    epochRailJ_ = {};
+    govPrevInsts_ = chip_->tileInsts();
+    govPrevStall_ = chip_->tileMemStallCycles();
+    govPrevTileJ_ = chip_->tileCoreEnergyJ();
+}
+
+void
+System::applyGovernorGates()
+{
+    const std::size_t n = dutyNum_.size();
+    gatedTiles_ = 0;
+    bool progress = false;
+    for (std::size_t t = 0; t < n; ++t) {
+        // Bresenham: a tile with num/den duty runs exactly num of every
+        // den windows, evenly interleaved, whatever the epoch phase.
+        dutyAcc_[t] += dutyNum_[t];
+        const bool open = dutyAcc_[t] >= dutyDen_;
+        if (open)
+            dutyAcc_[t] -= dutyDen_;
+        chip_->setTileGated(static_cast<TileId>(t), !open);
+        if (!open)
+            ++gatedTiles_;
+        else if (!chip_->core(static_cast<TileId>(t)).allThreadsDone())
+            progress = true;
+    }
+    if (progress || gatedTiles_ == 0)
+        return;
+    // Progress guard: some unfinished core must run every window, or
+    // run() would report allHalted (and the stall detector would trip)
+    // while gated work still exists.  Pick the unfinished tile whose
+    // duty debt is largest (ties to the lowest id — deterministic).
+    std::size_t pick = n;
+    std::uint32_t best = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+        if (chip_->core(static_cast<TileId>(t)).allThreadsDone())
+            continue;
+        if (pick == n || dutyAcc_[t] > best) {
+            pick = t;
+            best = dutyAcc_[t];
+        }
+    }
+    if (pick != n) {
+        chip_->setTileGated(static_cast<TileId>(pick), false);
+        --gatedTiles_;
+    }
+}
+
+void
+System::governorEpochWindow(Cycle cycles, double window_s,
+                            const power::RailEnergy &delta,
+                            const power::RailEnergy &clock_w,
+                            const power::RailEnergy &leak_w)
+{
+    epochCycles_ += cycles;
+    epochTimeS_ += window_s;
+    for (std::size_t r = 0; r < power::kNumRails; ++r) {
+        const auto rail = static_cast<power::Rail>(r);
+        epochRailJ_[r] += delta.get(rail)
+                          + (clock_w.get(rail) + leak_w.get(rail))
+                                * window_s;
+    }
+    if (++epochWindow_ < gov_->epochWindows())
+        return;
+
+    governor::EpochObs obs;
+    obs.timeS = sampleClockS_;
+    obs.epochS = epochTimeS_;
+    obs.epochCycles = epochCycles_;
+    obs.onChipPowerW = (epochRailJ_[0] + epochRailJ_[1]) / epochTimeS_;
+    for (std::size_t r = 0; r < power::kNumRails; ++r)
+        obs.railPowerW[r] = epochRailJ_[r] / epochTimeS_;
+    obs.dieTempC = thermal_.dieTempC();
+    obs.packageTempC = thermal_.packageTempC();
+    obs.vddV = effVddV_;
+    obs.freqMhz = effClockMhz_;
+    const std::vector<std::uint64_t> insts = chip_->tileInsts();
+    const std::vector<std::uint64_t> stall = chip_->tileMemStallCycles();
+    const std::vector<double> tile_j = chip_->tileCoreEnergyJ();
+    obs.tiles.resize(insts.size());
+    for (std::size_t t = 0; t < insts.size(); ++t) {
+        obs.tiles[t].insts = insts[t] - govPrevInsts_[t];
+        obs.tiles[t].stallCycles = stall[t] - govPrevStall_[t];
+        obs.tiles[t].energyJ = tile_j[t] - govPrevTileJ_[t];
+        obs.tiles[t].freqMhz = tileFreqCmd_[t];
+        obs.tiles[t].gated = dutyNum_[t] == 0;
+    }
+
+    const governor::Actuation act = gov_->controlEpoch(obs);
+    if (act.changed)
+        applyActuation(act);
+    if (telem_ != nullptr)
+        recordGovernorEpoch(obs);
+
+    epochWindow_ = 0;
+    epochCycles_ = 0;
+    epochTimeS_ = 0.0;
+    epochRailJ_ = {};
+    govPrevInsts_ = insts;
+    govPrevStall_ = stall;
+    govPrevTileJ_ = tile_j;
+}
+
+void
+System::applyActuation(const governor::Actuation &act)
+{
+    piton_assert(act.freqMhz > 0.0 && act.vddV > 0.0,
+                 "actuation must carry a live operating point");
+    effClockMhz_ = act.freqMhz;
+    effVddV_ = act.vddV;
+    // The chip-wide point feeds the energy model (CV^2 scaling) and the
+    // board's VDD supply; VCS/VIO stay at their configured setpoints.
+    energy_.setOperatingPoint(effVddV_, opts_.vcsV);
+    board_.setSupply(power::Rail::Vdd, effVddV_);
+
+    const double step = gov_->vfModel().params().freqStepMhz;
+    dutyDen_ = static_cast<std::uint32_t>(
+        std::max<long long>(1, std::llround(effClockMhz_ / step)));
+    const std::size_t n = dutyNum_.size();
+    for (std::size_t t = 0; t < n; ++t) {
+        const double f =
+            act.tileFreqMhz.empty() ? effClockMhz_ : act.tileFreqMhz[t];
+        if (f <= 0.0) {
+            tileFreqCmd_[t] = 0.0;
+            dutyNum_[t] = 0;
+        } else {
+            tileFreqCmd_[t] = std::min(f, effClockMhz_);
+            const long long num = std::llround(tileFreqCmd_[t] / step);
+            dutyNum_[t] = static_cast<std::uint32_t>(std::min<long long>(
+                std::max<long long>(num, 1), dutyDen_));
+        }
+        // Keep accumulators in range under a shrinking denominator.
+        if (dutyAcc_[t] >= dutyDen_)
+            dutyAcc_[t] = dutyDen_ - 1;
+    }
+}
+
+void
+System::recordGovernorEpoch(const governor::EpochObs &obs)
+{
+    namespace ts = telemetry::schema;
+    using telemetry::Downsample;
+    using telemetry::Unit;
+    if (!govTids_.ready) {
+        // Lazy and idempotent (defineSeries dedups by name), so a
+        // resumed recorder rebinds to the restored schema ids.
+        govTids_.freqMhz = telem_->defineSeries(
+            ts::kGovernorFreqMhz, Unit::Hertz, Downsample::Mean);
+        govTids_.vddV = telem_->defineSeries(ts::kGovernorVddV, Unit::Volts,
+                                             Downsample::Mean);
+        govTids_.powerW = telem_->defineSeries(
+            ts::kGovernorPowerW, Unit::Watts, Downsample::Mean);
+        govTids_.capW = telem_->defineSeries(ts::kGovernorCapW, Unit::Watts,
+                                             Downsample::Mean);
+        govTids_.gatedTiles = telem_->defineSeries(
+            ts::kGovernorGatedTiles, Unit::Count, Downsample::Mean);
+        govTids_.epochs = telem_->defineSeries(
+            ts::kGovernorEpochs, Unit::Count, Downsample::Sum);
+        govTids_.ready = true;
+    }
+    const double t = sampleClockS_;
+    const double dt = obs.epochS;
+    telem_->record(govTids_.freqMhz, t, dt, effClockMhz_);
+    telem_->record(govTids_.vddV, t, dt, effVddV_);
+    telem_->record(govTids_.powerW, t, dt, obs.onChipPowerW);
+    telem_->record(govTids_.capW, t, dt, gov_->params().capW);
+    std::uint32_t hard_gated = 0;
+    for (const std::uint32_t num : dutyNum_)
+        hard_gated += num == 0 ? 1 : 0;
+    telem_->record(govTids_.gatedTiles, t, dt,
+                   static_cast<double>(hard_gated));
+    telem_->record(govTids_.epochs, t, dt, 1.0);
 }
 
 board::PowerMeasurement
@@ -314,15 +565,24 @@ System::runToCompletion(Cycle max_cycles)
     constexpr int kMaxNoProgressWindows = 3;
     int no_progress = 0;
 
+    // Under a governor the clock can change between windows, so wall
+    // time is the sum of per-window durations, not cycles / one clock.
+    double run_s = 0.0;
     double idle_energy_j = 0.0;
     power::RailEnergy prev_chunk = start_ledger;
     while (chip_->now() - start_cycle < max_cycles) {
         const Cycle remaining = max_cycles - (chip_->now() - start_cycle);
         const Cycle before = chip_->now();
+        if (gov_ != nullptr)
+            applyGovernorGates();
         const auto r = chip_->run(std::min(chunk, remaining));
         const Cycle elapsed = chip_->now() - before;
+        // allHalted ignores duty-gated cores; the ground truth for "the
+        // workload finished" under a governor is allThreadsDone().
+        const bool done =
+            r.allHalted && (gov_ == nullptr || chip_->allThreadsDone());
         if (elapsed == 0) {
-            if (r.allHalted) {
+            if (done) {
                 res.completed = true;
                 break;
             }
@@ -355,15 +615,21 @@ System::runToCompletion(Cycle max_cycles)
             }
             recordWindowTelemetry(dt, p, chunk_delta, clock_re, leak_re);
         }
+        if (gov_ != nullptr)
+            governorEpochWindow(elapsed, dt, chunk_delta, clock_re,
+                                leak_re);
         sampleClockS_ += dt;
-        if (r.allHalted) {
+        run_s += dt;
+        if (done) {
             res.completed = true;
             break;
         }
     }
 
     res.cycles = chip_->now() - start_cycle;
-    res.seconds = static_cast<double>(res.cycles) / coreClockHz();
+    res.seconds = gov_ != nullptr
+                      ? run_s
+                      : static_cast<double>(res.cycles) / coreClockHz();
     res.insts = chip_->totalInsts();
     const power::RailEnergy delta = chip_->ledger().total() - start_ledger;
     prevLedger_ = chip_->ledger().total();
@@ -424,6 +690,61 @@ System::serializeSystem(ckpt::Archive &ar)
         ar.io(v);
     ar.endSection();
 
+    // Governor control-loop state rides along only when a governor is
+    // attached at save time; restoring it requires attaching a governor
+    // of the same policy first (the name is fingerprinted).  Like the
+    // telemetry section below, a governed System restoring an
+    // ungoverned checkpoint just re-baselines (restoreBytes).
+    const bool do_governor =
+        gov_ != nullptr && (ar.saving() || ar.hasSection("sys.governor"));
+    if (do_governor) {
+        ar.beginSection("sys.governor");
+        ar.ioExpect(std::string(gov_->name()), "governor policy");
+        ar.io(effVddV_);
+        ar.io(effClockMhz_);
+        ar.io(dutyDen_);
+        std::uint64_t ng = ar.ioSize(dutyNum_.size(), 4);
+        if (ar.loading()) {
+            const auto sz = static_cast<std::size_t>(ng);
+            dutyNum_.resize(sz);
+            dutyAcc_.resize(sz);
+            tileFreqCmd_.resize(sz);
+            govPrevInsts_.resize(sz);
+            govPrevStall_.resize(sz);
+            govPrevTileJ_.resize(sz);
+        }
+        for (auto &v : dutyNum_)
+            ar.io(v);
+        for (auto &v : dutyAcc_)
+            ar.io(v);
+        for (auto &v : tileFreqCmd_)
+            ar.io(v);
+        for (auto &v : govPrevInsts_)
+            ar.io(v);
+        for (auto &v : govPrevStall_)
+            ar.io(v);
+        for (auto &v : govPrevTileJ_)
+            ar.io(v);
+        ar.io(epochWindow_);
+        ar.io(epochCycles_);
+        ar.io(epochTimeS_);
+        for (auto &j : epochRailJ_)
+            ar.io(j);
+        gov_->serialize(ar);
+        ar.endSection();
+        if (ar.loading()) {
+            // Re-realize the restored operating point: the energy
+            // model's V-scaling and the board's VDD setpoint are not
+            // part of any section's payload.  Core gate flags are
+            // derived per window, never stored.
+            energy_.setOperatingPoint(effVddV_, opts_.vcsV);
+            board_.setSupply(power::Rail::Vdd, effVddV_);
+            gatedTiles_ = 0;
+            for (TileId t = 0; t < opts_.cfg.piton.tileCount; ++t)
+                chip_->setTileGated(t, false);
+        }
+    }
+
     // Recorder contents ride along only when one is attached at save
     // time; on restore the section is applied only if a recorder is
     // attached to receive it (attach first, then restore).
@@ -464,6 +785,11 @@ System::restoreBytes(const std::vector<std::uint8_t> &bytes,
     // on this for bit-identical fan-out).
     if (telem_ != nullptr && !ar.hasSection("sys.telemetry"))
         snapshotTelemetryBaselines();
+    // Same for the governor: a checkpoint saved ungoverned restores
+    // into a governed System by starting a fresh control epoch at the
+    // restored counters (the nominal operating point still applies).
+    if (gov_ != nullptr && !ar.hasSection("sys.governor"))
+        snapshotGovernorBaselines();
     if (mark_telemetry_event && telem_) {
         const std::size_t id =
             telem_->defineSeries(telemetry::schema::kEventRestore,

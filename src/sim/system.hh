@@ -27,6 +27,7 @@
 #include "board/test_board.hh"
 #include "chip/chip_instance.hh"
 #include "config/piton_params.hh"
+#include "governor/governor.hh"
 #include "power/energy_model.hh"
 #include "telemetry/recorder.hh"
 #include "thermal/thermal_model.hh"
@@ -108,7 +109,11 @@ class System
     void loadProgram(TileId tile, ThreadId tid, const isa::Program *p,
                      const std::vector<std::pair<int, RegVal>> &init = {});
 
-    double coreClockHz() const { return mhzToHz(opts_.coreClockMhz); }
+    /** Current core clock.  Equal to the configured clock unless a
+     *  governor has actuated a different operating point. */
+    double coreClockHz() const { return mhzToHz(effClockMhz_); }
+    double effectiveClockMhz() const { return effClockMhz_; }
+    double effectiveVddV() const { return effVddV_; }
 
     /**
      * Steady-state measurement per the paper's protocol: run the warmup
@@ -147,6 +152,36 @@ class System
      */
     void attachTelemetry(telemetry::TelemetryRecorder *rec);
     telemetry::TelemetryRecorder *telemetry() const { return telem_; }
+
+    /**
+     * Attach a closed-loop DVFS governor (DESIGN.md §13).  Every
+     * sample window thereafter: (1) the per-tile duty gates for the
+     * window are derived from the governor's last actuation (integer
+     * Bresenham on the PLL grid — a tile commanded f_t of a chip clock
+     * f runs round(f_t/step) of every round(f/step) windows, ungated
+     * in the windows its accumulator carries); (2) the chip runs the
+     * window; (3) telemetry records it; (4) the epoch accumulators
+     * advance, and at every epochWindows()-th window the governor's
+     * controlEpoch() runs and its actuation (chip V-f via
+     * EnergyModel::setOperatingPoint + the effective clock, per-tile
+     * duty tables) applies before the next window.  All of it is
+     * serial arithmetic on bit-identical inputs, so governed runs stay
+     * bit-identical at any engineThreads and across checkpoint/resume.
+     *
+     * The governor is init()-ed against this system's platform at
+     * attach; counter baselines snapshot like attachTelemetry.  For
+     * telemetry of the control loop itself (governor.* series), attach
+     * the recorder first.  Pass nullptr to detach (gates clear; the
+     * actuated operating point remains).  Checkpoints save controller
+     * state in a sys.governor section when a governor is attached;
+     * restoring governed state requires attaching a governor of the
+     * same policy first (mirrors the telemetry contract).
+     */
+    void attachGovernor(governor::Governor *gov);
+    governor::Governor *dvfsGovernor() const { return gov_; }
+
+    /** Tiles duty-gated for the window currently being set up/run. */
+    std::uint32_t gatedTileCount() const { return gatedTiles_; }
 
     /** Monotone sample-clock: seconds of sample windows recorded so
      *  far (the telemetry time axis; advances even when the chip has
@@ -201,6 +236,31 @@ class System
                                const power::RailEnergy &clock_w,
                                const power::RailEnergy &leak_w);
 
+    // ---- governor control loop (DESIGN.md §13) -----------------------
+
+    /** Derive and apply the per-tile duty gates for the next window
+     *  (call immediately before chip_->run).  Guarantees at least one
+     *  unfinished core stays ungated, so governed runs always make
+     *  forward progress and allHalted keeps its meaning. */
+    void applyGovernorGates();
+
+    /** Advance the epoch accumulators by one recorded window; at an
+     *  epoch boundary, run the governor and apply its actuation. */
+    void governorEpochWindow(Cycle cycles, double window_s,
+                             const power::RailEnergy &delta,
+                             const power::RailEnergy &clock_w,
+                             const power::RailEnergy &leak_w);
+
+    /** Realize an actuation: chip operating point + duty tables. */
+    void applyActuation(const governor::Actuation &act);
+
+    /** Reset the epoch state and baselines on the current counters
+     *  (attach, or restore of a checkpoint without governor state). */
+    void snapshotGovernorBaselines();
+
+    /** Record the governor.* series for one epoch (lazy schema). */
+    void recordGovernorEpoch(const governor::EpochObs &obs);
+
     SystemOptions opts_;
     chip::ChipInstance instance_;
     power::EnergyModel energy_;
@@ -221,6 +281,8 @@ class System
         std::size_t nocFlits, nocFlitHops, nocToggledBits, nocFlitsPerS;
         std::size_t dieC, packageC;
         std::size_t insts, activeThreads;
+        /** Per-rail power/voltage/current gauges (power.rail.*). */
+        std::array<std::size_t, power::kNumRails> railW, railV, railA;
         std::vector<std::size_t> tileJ; ///< empty unless perTile
     } tids_{};
     /** Counter baselines for per-window deltas. */
@@ -228,6 +290,36 @@ class System
     arch::NocStats prevNoc_{};
     std::uint64_t prevInsts_ = 0;
     std::vector<double> prevTileJ_;
+
+    // ---- governor state (checkpointed as sys.governor) ---------------
+    governor::Governor *gov_ = nullptr;
+    /** Actuated operating point; == the configured one until a
+     *  governor changes it (so ungoverned runs are untouched). */
+    double effVddV_ = 0.0;
+    double effClockMhz_ = 0.0;
+    /** Duty tables: a tile runs dutyNum_[t] of every dutyDen_ windows
+     *  (Bresenham accumulator dutyAcc_); num == den = never gated,
+     *  num == 0 = hard-gated. */
+    std::uint32_t dutyDen_ = 1;
+    std::vector<std::uint32_t> dutyNum_;
+    std::vector<std::uint32_t> dutyAcc_;
+    /** Per-tile commanded frequency (MHz; 0 = off), for EpochObs. */
+    std::vector<double> tileFreqCmd_;
+    std::uint32_t gatedTiles_ = 0;
+    /** Epoch accumulators and per-tile counter baselines. */
+    std::uint32_t epochWindow_ = 0;
+    std::uint64_t epochCycles_ = 0;
+    double epochTimeS_ = 0.0;
+    std::array<double, power::kNumRails> epochRailJ_{};
+    std::vector<std::uint64_t> govPrevInsts_;
+    std::vector<std::uint64_t> govPrevStall_;
+    std::vector<double> govPrevTileJ_;
+    /** governor.* series ids, resolved lazily at the first epoch. */
+    struct GovTids
+    {
+        bool ready = false;
+        std::size_t freqMhz, vddV, powerW, capW, gatedTiles, epochs;
+    } govTids_{};
 };
 
 } // namespace piton::sim

@@ -109,7 +109,7 @@ TelemetryRecorder::serialize(ckpt::Archive &ar)
             ds = s.downsample();
         }
         ar.io(name);
-        ar.ioEnum(unit, static_cast<Unit>(6));       // one past Seconds
+        ar.ioEnum(unit, static_cast<Unit>(8));       // one past Amps
         ar.ioEnum(ds, static_cast<Downsample>(2));   // one past Sum
         if (ar.loading()) {
             if (i < series_.size()) {

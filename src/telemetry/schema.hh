@@ -27,6 +27,12 @@ inline constexpr const char *kPowerDynamicW = "power.dynamic_w";
 inline constexpr const char *kPowerClockW = "power.clock_w";
 inline constexpr const char *kPowerLeakW = "power.leak_w";
 
+/** Per-rail gauges named from power::railName(): "power.rail.<rail>_w"
+ *  (true power), "..._v" (supply setpoint — follows governor
+ *  actuation), "..._a" (current, W/V — what the board's sense
+ *  resistors actually see). */
+inline constexpr const char *kPowerRailPrefix = "power.rail.";
+
 // Monitor-chain outputs (same windows, after quantization + noise).
 inline constexpr const char *kMeasuredVddW = "measured.vdd_w";
 inline constexpr const char *kMeasuredVcsW = "measured.vcs_w";
@@ -67,6 +73,17 @@ inline constexpr const char *kEventRestore = "event.restore";
 // Power-cap governor trace (recorded by core::PowerCapExperiment).
 inline constexpr const char *kGovernorCores = "governor.active_cores";
 inline constexpr const char *kGovernorMeasuredW = "governor.measured_w";
+
+/** Closed-loop DVFS governor trace (sim::System, one sample per
+ *  control epoch; DESIGN.md §13).  freq/vdd are the operating point
+ *  commanded *after* the epoch's control decision; power_w is the
+ *  epoch's measured mean the decision was based on. */
+inline constexpr const char *kGovernorFreqMhz = "governor.freq_mhz";
+inline constexpr const char *kGovernorVddV = "governor.vdd_v";
+inline constexpr const char *kGovernorPowerW = "governor.power_w";
+inline constexpr const char *kGovernorCapW = "governor.cap_w";
+inline constexpr const char *kGovernorGatedTiles = "governor.gated_tiles";
+inline constexpr const char *kGovernorEpochs = "governor.epochs";
 
 /** Fig. 17 fan-sweep results (core::ThermalSweepExperiment): the time
  *  axis is the fan step index (dt = 1), not seconds. */

@@ -17,6 +17,8 @@ unitName(Unit u)
       case Unit::Count: return "count";
       case Unit::Hertz: return "Hz";
       case Unit::Seconds: return "s";
+      case Unit::Volts: return "V";
+      case Unit::Amps: return "A";
       default:
         piton_panic("bad Unit");
     }

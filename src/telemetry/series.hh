@@ -33,6 +33,8 @@ enum class Unit : std::uint8_t
     Count,
     Hertz,
     Seconds,
+    Volts,
+    Amps,
 };
 
 const char *unitName(Unit u);

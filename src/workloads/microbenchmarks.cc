@@ -214,6 +214,24 @@ loadMicrobench(sim::System &system, Microbench bench, std::uint32_t cores,
 {
     piton_assert(cores >= 1 && cores <= 25, "core count %u out of range",
                  cores);
+    std::vector<TileId> tiles;
+    tiles.reserve(cores);
+    for (TileId t = 0; t < cores; ++t)
+        tiles.push_back(t);
+    return loadMicrobenchOnTiles(system, bench, tiles, threads_per_core,
+                                 iterations, total_elements);
+}
+
+std::vector<isa::Program>
+loadMicrobenchOnTiles(sim::System &system, Microbench bench,
+                      const std::vector<TileId> &tiles,
+                      std::uint32_t threads_per_core,
+                      std::uint64_t iterations,
+                      std::uint64_t total_elements)
+{
+    const auto cores = static_cast<std::uint32_t>(tiles.size());
+    piton_assert(cores >= 1 && cores <= 25, "core count %u out of range",
+                 cores);
     piton_assert(threads_per_core == 1 || threads_per_core == 2,
                  "threads/core must be 1 or 2");
     std::vector<isa::Program> programs;
@@ -227,7 +245,7 @@ loadMicrobench(sim::System &system, Microbench bench, std::uint32_t cores,
         programs.push_back(makeIntLoop(iterations));
         for (std::uint32_t c = 0; c < cores; ++c)
             for (std::uint32_t t = 0; t < threads_per_core; ++t)
-                system.loadProgram(c, t, &programs[0]);
+                system.loadProgram(tiles[c], t, &programs[0]);
         break;
       }
       case Microbench::HP: {
@@ -245,10 +263,10 @@ loadMicrobench(sim::System &system, Microbench bench, std::uint32_t cores,
                                       + static_cast<Addr>(hwid) * 0x1000;
                     system.pitonChip().memory().write64(base, 0x1234);
                     system.loadProgram(
-                        c, t, &programs[1],
+                        tiles[c], t, &programs[1],
                         {{1, static_cast<RegVal>(base)}});
                 } else {
-                    system.loadProgram(c, t, &programs[0]);
+                    system.loadProgram(tiles[c], t, &programs[0]);
                 }
             }
         }
@@ -269,7 +287,7 @@ loadMicrobench(sim::System &system, Microbench bench, std::uint32_t cores,
                     (idx + 1 == threads) ? total_elements
                                          : start + per_thread;
                 system.loadProgram(
-                    c, t, &programs[0],
+                    tiles[c], t, &programs[0],
                     {{1, kHistArrayBase},
                      {2, start},
                      {3, end},

@@ -93,6 +93,20 @@ loadMicrobench(sim::System &system, Microbench bench, std::uint32_t cores,
                std::uint32_t threads_per_core, std::uint64_t iterations,
                std::uint64_t total_elements = 4096);
 
+/**
+ * Same mappings, but onto an explicit tile list (placement-aware; the
+ * DVFS scenario engine feeds it Governor::placeTiles output).  Thread
+ * roles and work slices follow the *position* in the list, so
+ * `loadMicrobenchOnTiles(sys, b, {0..n-1}, ...)` is exactly
+ * `loadMicrobench(sys, b, n, ...)`.  Tiles must be distinct.
+ */
+std::vector<isa::Program>
+loadMicrobenchOnTiles(sim::System &system, Microbench bench,
+                      const std::vector<TileId> &tiles,
+                      std::uint32_t threads_per_core,
+                      std::uint64_t iterations,
+                      std::uint64_t total_elements = 4096);
+
 /** Seed Hist's shared input array with random values. */
 void initHistData(arch::MainMemory &memory, std::uint64_t elements,
                   Rng &rng);

@@ -25,6 +25,7 @@
 
 #include "arch/piton_chip.hh"
 #include "checkpoint/archive.hh"
+#include "governor/governor.hh"
 #include "chip/chip_instance.hh"
 #include "config/piton_params.hh"
 #include "isa/assembler.hh"
@@ -533,6 +534,152 @@ TEST(CheckpointSharded, ResetEnergyClearsShardState)
     for (std::size_t rail = 0; rail < power::kNumRails; ++rail)
         EXPECT_EQ(
             ledger.total().get(static_cast<power::Rail>(rail)), 0.0);
+}
+
+// ---- governed checkpoints (format v3: sys.governor section) ----------
+
+governor::GovernorParams
+govParamsFor(const std::string &policy)
+{
+    governor::GovernorParams p;
+    p.policy = policy;
+    p.epochWindows = 2;
+    if (policy == "pidcap")
+        p.capW = 2.0;
+    return p;
+}
+
+/** Governed reference run: governor attached for the whole span. */
+SystemFingerprint
+governedStraight(const std::string &policy, std::uint32_t windows)
+{
+    sim::System sys(optsFor(true));
+    const auto gov = governor::makeGovernor(govParamsFor(policy));
+    sys.attachGovernor(gov.get());
+    const auto programs =
+        workloads::loadMicrobench(sys, workloads::Microbench::HP, 25, 2, 0);
+    telemetry::TelemetryRecorder rec;
+    sys.attachTelemetry(&rec);
+    SystemFingerprint fp;
+    recordWindows(sys, windows, fp);
+    finishFingerprint(sys, rec, fp);
+    return fp;
+}
+
+std::vector<std::uint8_t>
+governedImage(const std::string &policy, std::uint32_t save_at,
+              SystemFingerprint &fp)
+{
+    sim::System sys(optsFor(true));
+    const auto gov = governor::makeGovernor(govParamsFor(policy));
+    sys.attachGovernor(gov.get());
+    const auto programs =
+        workloads::loadMicrobench(sys, workloads::Microbench::HP, 25, 2, 0);
+    telemetry::TelemetryRecorder rec;
+    sys.attachTelemetry(&rec);
+    recordWindows(sys, save_at, fp);
+    return sys.saveBytes();
+}
+
+/** A governed run checkpointed at a control-epoch boundary (and, with
+ *  an odd save point, mid-epoch — the accumulators travel too) must
+ *  resume bit-identically: same window powers, ledger sums, and
+ *  byte-identical telemetry including the governor.* epoch series. */
+TEST(CheckpointGoverned, GovernedResumeIsBitIdentical)
+{
+    for (const char *policy : {"ondemand", "pidcap", "theas"}) {
+        const auto straight = governedStraight(
+            policy, kPrefixWindows + kSuffixWindows);
+        // epochWindows=2: saving after 4 windows is an epoch boundary,
+        // after 5 is mid-epoch with live accumulators.
+        for (const std::uint32_t at : {4u, 5u}) {
+            SystemFingerprint fp;
+            const auto bytes = governedImage(policy, at, fp);
+            sim::System resumed(optsFor(true));
+            const auto gov =
+                governor::makeGovernor(govParamsFor(policy));
+            resumed.attachGovernor(gov.get()); // before restore
+            telemetry::TelemetryRecorder rec;
+            resumed.attachTelemetry(&rec);
+            resumed.restoreBytes(bytes);
+            recordWindows(resumed,
+                          kPrefixWindows + kSuffixWindows - at, fp);
+            finishFingerprint(resumed, rec, fp);
+            EXPECT_TRUE(fp == straight)
+                << policy << " saved at window " << at;
+        }
+    }
+}
+
+/** The governor policy is fingerprinted inside sys.governor: resuming
+ *  under a different policy must fail loudly, not misinterpret the
+ *  controller state. */
+TEST(CheckpointGoverned, PolicyMismatchThrows)
+{
+    SystemFingerprint fp;
+    const auto bytes = governedImage("ondemand", kPrefixWindows, fp);
+    sim::System resumed(optsFor(true));
+    const auto gov = governor::makeGovernor(govParamsFor("theas"));
+    resumed.attachGovernor(gov.get());
+    try {
+        resumed.restoreBytes(bytes);
+        FAIL() << "policy mismatch accepted";
+    } catch (const ckpt::CheckpointError &e) {
+        EXPECT_NE(std::string(e.what()).find("governor"),
+                  std::string::npos);
+    }
+}
+
+/** sys.governor is CRC-protected like every section: a flipped bit in
+ *  its payload must throw, never skew the duty tables or PID state. */
+TEST(CheckpointGoverned, GovernorSectionCorruptionThrows)
+{
+    SystemFingerprint fp;
+    auto bytes = governedImage("pidcap", kPrefixWindows, fp);
+    static const char kName[] = "sys.governor";
+    const auto it = std::search(bytes.begin(), bytes.end(), kName,
+                                kName + sizeof(kName) - 1);
+    ASSERT_NE(it, bytes.end()) << "sys.governor section missing";
+    const std::size_t at =
+        static_cast<std::size_t>(it - bytes.begin()) + sizeof(kName) + 16;
+    ASSERT_LT(at, bytes.size());
+    bytes[at] ^= 0x01;
+    sim::System resumed(optsFor(true));
+    const auto gov = governor::makeGovernor(govParamsFor("pidcap"));
+    resumed.attachGovernor(gov.get());
+    EXPECT_THROW(resumed.restoreBytes(bytes), ckpt::CheckpointError);
+}
+
+/** Sections are located by name, so a pre-governor (ungoverned) image
+ *  restores into a governed System: the control loop simply starts
+ *  fresh, re-baselined against the restored chip counters. */
+TEST(CheckpointGoverned, UngovernedImageRestoresIntoGovernedSystem)
+{
+    const auto bytes = smallImage();
+    sim::System sys(optsFor(true));
+    const auto gov = governor::makeGovernor(govParamsFor("ondemand"));
+    sys.attachGovernor(gov.get());
+    EXPECT_NO_THROW(sys.restoreBytes(bytes));
+    EXPECT_EQ(sys.gatedTileCount(), 0u);
+    // The governed loop runs from the restored state without tripping
+    // any baseline assertion.
+    sys.windowTruePowers(sys.options().cyclesPerSample);
+    sys.windowTruePowers(sys.options().cyclesPerSample);
+}
+
+/** The reverse direction also loads: an ungoverned System skips the
+ *  optional sys.governor section (the control-loop state is dropped,
+ *  the machine state is intact). */
+TEST(CheckpointGoverned, GovernedImageRestoresUngoverned)
+{
+    SystemFingerprint fp;
+    const auto bytes = governedImage("theas", kPrefixWindows, fp);
+    sim::System sys(optsFor(true));
+    telemetry::TelemetryRecorder rec;
+    sys.attachTelemetry(&rec);
+    EXPECT_NO_THROW(sys.restoreBytes(bytes));
+    EXPECT_EQ(sys.dvfsGovernor(), nullptr);
+    EXPECT_EQ(sys.gatedTileCount(), 0u);
 }
 
 // ---- restore marker and warm-start semantics -------------------------

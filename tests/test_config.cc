@@ -1,10 +1,12 @@
 /**
  * @file
- * Unit tests for the configuration module (Tables I-III).
+ * Unit tests for the configuration module (Tables I-III) and the
+ * kv-file parser that scenario descriptions use.
  */
 
 #include <gtest/gtest.h>
 
+#include "config/kv_file.hh"
 #include "config/piton_params.hh"
 
 namespace piton::config
@@ -100,6 +102,77 @@ TEST(Mesh, MaxHopCountIsEight)
         for (TileId b = 0; b < p.tileCount; ++b)
             max_hops = std::max(max_hops, hopDistance(p, a, b));
     EXPECT_EQ(max_hops, 8u); // "the maximum hop count for a 5x5 mesh"
+}
+
+// ---- kv-file parser (scenario descriptions, DESIGN.md §13) ----------
+
+TEST(KvFile, ParsesCommentsCaseAndLastWins)
+{
+    const KvFile kv = KvFile::parseText(R"(
+# full-line comment
+Tiles   = 12          # trailing comment
+CAP_W   = 2.5         ; alt comment marker
+name    = first
+name    = second wins
+
+governor = pidcap
+)");
+    EXPECT_EQ(kv.entries().size(), 5u);
+    EXPECT_TRUE(kv.has("tiles")); // keys are lowercased on parse
+    EXPECT_EQ(kv.getUint("tiles", 0), 12u);
+    EXPECT_DOUBLE_EQ(kv.getDouble("cap_w", 0.0), 2.5);
+    EXPECT_EQ(kv.get("name"), "second wins"); // duplicates: last wins
+    EXPECT_EQ(kv.get("governor"), "pidcap");
+    EXPECT_EQ(kv.get("missing", "def"), "def");
+    EXPECT_NO_THROW(kv.checkUnknownKeys("test")); // all consumed above
+}
+
+TEST(KvFile, MalformedLinesThrowWithLineNumbers)
+{
+    EXPECT_THROW(KvFile::parseText("tiles 12"), KvError);   // no '='
+    EXPECT_THROW(KvFile::parseText("= 12"), KvError);       // empty key
+    EXPECT_THROW(KvFile::parseText("til:es = 12"), KvError); // bad char
+    try {
+        KvFile::parseText("a = 1\nb 2\n", "f.kv");
+        FAIL() << "malformed line accepted";
+    } catch (const KvError &e) {
+        EXPECT_NE(std::string(e.what()).find("f.kv:2"),
+                  std::string::npos);
+    }
+}
+
+TEST(KvFile, TypedAccessorsRejectBadValues)
+{
+    const KvFile kv = KvFile::parseText(
+        "d = not_a_number\nu = -3\nb = maybe\nok = 7\n");
+    EXPECT_THROW(kv.getDouble("d", 0.0), KvError);
+    EXPECT_THROW(kv.getUint("u", 0), KvError);
+    EXPECT_THROW(kv.getBool("b", false), KvError);
+    EXPECT_EQ(kv.getUint("ok", 0), 7u);
+    EXPECT_TRUE(KvFile::parseText("x = yes").getBool("x", false));
+    EXPECT_FALSE(KvFile::parseText("x = off").getBool("x", true));
+}
+
+TEST(KvFile, UnknownKeysAreReportedNotIgnored)
+{
+    const KvFile kv =
+        KvFile::parseText("tiles = 5\nworkloda = int\n");
+    (void)kv.getUint("tiles", 0);
+    const auto unknown = kv.unconsumedKeys();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "workloda");
+    try {
+        kv.checkUnknownKeys("scenario");
+        FAIL() << "unknown key accepted";
+    } catch (const KvError &e) {
+        EXPECT_NE(std::string(e.what()).find("workloda"),
+                  std::string::npos);
+    }
+}
+
+TEST(KvFile, MissingFileThrows)
+{
+    EXPECT_THROW(KvFile::parseFile("/nonexistent/piton.kv"), KvError);
 }
 
 } // namespace

@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "governor/scenario.hh"
 #include "isa/assembler.hh"
 #include "power/energy_model.hh"
 #include "sim/system.hh"
@@ -238,6 +239,99 @@ TEST(FastPathEquivalenceStress, TelemetryCsvIsByteIdentical)
     // an 8-way run must still export the identical bytes.
     EXPECT_EQ(csv(true, 8), legacy);
 }
+
+/**
+ * Closed-loop governed runs (DESIGN.md §13) carry extra serial state —
+ * epoch accumulators, duty-gate tables, controller internals — all of
+ * which must stay bit-identical across the legacy path and the sharded
+ * engine at any thread count.  Each policy runs the same phased
+ * scenario (cap retune + workload swap mid-run, so actuation and gating
+ * actually fire) and the whole observable surface is compared: chip
+ * fingerprint, scenario aggregates as raw bits, and a byte-for-byte
+ * telemetry CSV including the governor.* epoch series.
+ */
+class GovernedEquivalence
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    struct GovernedRun
+    {
+        RunFingerprint fp;
+        std::vector<std::uint64_t> resultBits;
+        std::string csv;
+    };
+
+    GovernedRun
+    run(bool fast_path, unsigned engine_threads) const
+    {
+        governor::Scenario sc = governor::Scenario::fromText(R"(
+name             = equiv
+workload         = hp
+tiles            = 25
+threads_per_core = 2
+epoch_windows    = 2
+cycles           = 30000
+phases           = 2
+phase1.cap_w     = 1.6
+phase1.workload  = int
+)");
+        sc.gov.policy = GetParam();
+        if (sc.gov.policy == "pidcap")
+            sc.gov.capW = 2.2;
+
+        sim::SystemOptions opts;
+        opts.fastPath = fast_path;
+        opts.engineThreads = engine_threads;
+        sim::System sys(opts);
+        telemetry::TelemetryRecorder rec;
+        sys.attachTelemetry(&rec);
+        const governor::ScenarioResult r = governor::runScenario(sys, sc);
+
+        GovernedRun g;
+        arch::PitonChip::RunResult rr;
+        rr.cyclesElapsed = r.cycles;
+        rr.allHalted = false;
+        g.fp = fingerprint(sys.pitonChip(), rr);
+        g.resultBits = {r.cycles,
+                        r.insts,
+                        bitsOf(r.seconds),
+                        bitsOf(r.energyJ),
+                        bitsOf(r.avgPowerW),
+                        bitsOf(r.epi),
+                        bitsOf(r.finalDieTempC)};
+        for (const auto &ph : r.phases) {
+            g.resultBits.push_back(bitsOf(ph.avgPowerW));
+            g.resultBits.push_back(bitsOf(ph.epi));
+            g.resultBits.push_back(bitsOf(ph.endTimeS));
+            g.resultBits.push_back(ph.insts);
+        }
+        std::ostringstream os;
+        telemetry::writeCsv(os, rec);
+        g.csv = os.str();
+        return g;
+    }
+};
+
+TEST_P(GovernedEquivalence, BitIdenticalAcrossEnginesAndThreads)
+{
+    const GovernedRun legacy = run(false, 1);
+    ASSERT_FALSE(legacy.csv.empty());
+    EXPECT_GT(legacy.fp.totalInsts, 0u);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        const GovernedRun fast = run(true, threads);
+        expectEqualFingerprints(fast.fp, legacy.fp);
+        EXPECT_EQ(fast.resultBits, legacy.resultBits)
+            << "threads=" << threads;
+        EXPECT_EQ(fast.csv, legacy.csv) << "threads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, GovernedEquivalence,
+                         ::testing::Values("none", "ondemand", "pidcap",
+                                           "theas"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
 
 /** The sharded engine must actually shard: a multithreaded run on the
  *  all-cores-active workload executes run-ahead rounds (otherwise the

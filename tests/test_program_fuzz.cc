@@ -47,8 +47,10 @@
 #include "chip/chip_instance.hh"
 #include "common/rng.hh"
 #include "config/piton_params.hh"
+#include "governor/governor.hh"
 #include "isa/program.hh"
 #include "power/energy_model.hh"
+#include "sim/system.hh"
 
 namespace
 {
@@ -499,6 +501,110 @@ TEST(CheckpointBoundaryAudit, FuzzedProgramsDenseSplits)
         SCOPED_TRACE("dense-split seed " + std::to_string(seed));
         denseSplitAudit(generateProgram(seed), /*store_buffer_entries=*/2,
                         /*drafting=*/(seed % 2) == 0, "fuzzed program");
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+// ---- governed differential runs --------------------------------------
+//
+// The same fuzz corpus under the closed DVFS loop (DESIGN.md §13): a
+// full governed System runs each program across the legacy engine, the
+// sharded engine at several thread counts, and a mid-run checkpoint
+// migrated into a fresh governed System.  The control loop (epoch
+// accumulators, duty gating, PID state) must not break the bit-identity
+// contract: window powers and ledger sums compare as raw bits.
+
+std::vector<std::uint64_t>
+governedSystemBits(sim::System &sys)
+{
+    std::vector<std::uint64_t> bits;
+    const auto &ledger = sys.pitonChip().ledger();
+    for (std::size_t c = 0; c < power::kNumCategories; ++c)
+        for (std::size_t rail = 0; rail < power::kNumRails; ++rail)
+            bits.push_back(
+                bitsOf(ledger.category(static_cast<power::Category>(c))
+                           .get(static_cast<power::Rail>(rail))));
+    bits.push_back(sys.pitonChip().totalInsts());
+    bits.push_back(sys.pitonChip().now());
+    bits.push_back(bitsOf(sys.sampleClockS()));
+    return bits;
+}
+
+/**
+ * One governed run of `p`: `windows` sample windows under `policy`.
+ * With split > 0, the run is checkpointed after that many windows and
+ * resumed in a fresh governed System (governor attached first, per the
+ * restore contract).  Returns every window power plus the final system
+ * bits.
+ */
+std::vector<std::uint64_t>
+governedFuzzRun(const isa::Program &p, const std::string &policy,
+                bool fast, unsigned threads, std::uint32_t windows,
+                std::uint32_t split = 0)
+{
+    sim::SystemOptions opts;
+    opts.fastPath = fast;
+    opts.engineThreads = threads;
+
+    const auto gov_params = [&] {
+        governor::GovernorParams gp;
+        gp.policy = policy;
+        gp.epochWindows = 2;
+        if (policy == "pidcap")
+            gp.capW = 2.0;
+        return gp;
+    }();
+
+    auto sys = std::make_unique<sim::System>(opts);
+    auto gov = governor::makeGovernor(gov_params);
+    sys->attachGovernor(gov.get());
+    for (TileId t = 0; t < opts.cfg.piton.tileCount; ++t)
+        for (ThreadId tid = 0; tid < kThreadsPerCore; ++tid)
+            sys->loadProgram(t, tid, &p);
+
+    std::vector<std::uint64_t> bits;
+    for (std::uint32_t w = 0; w < windows; ++w) {
+        if (split != 0 && w == split) {
+            const std::vector<std::uint8_t> image = sys->saveBytes();
+            sys = std::make_unique<sim::System>(opts);
+            gov = governor::makeGovernor(gov_params);
+            sys->attachGovernor(gov.get());
+            sys->restoreBytes(image);
+        }
+        const auto powers =
+            sys->windowTruePowers(opts.cyclesPerSample);
+        for (const double v : powers)
+            bits.push_back(bitsOf(v));
+    }
+    const auto tail = governedSystemBits(*sys);
+    bits.insert(bits.end(), tail.begin(), tail.end());
+    return bits;
+}
+
+TEST(GovernedFuzz, DifferentialGovernedRuns)
+{
+    const unsigned iters = std::max(1u, fuzzIterations() / 30);
+    const char *const policies[] = {"ondemand", "pidcap", "theas"};
+    constexpr std::uint32_t kWindows = 7; // odd: ends mid-epoch
+    for (std::uint64_t seed = 301; seed < 301 + iters; ++seed) {
+        SCOPED_TRACE("governed fuzz seed " + std::to_string(seed));
+        const isa::Program p = generateProgram(seed);
+        const std::string policy = policies[seed % 3];
+        const auto ref =
+            governedFuzzRun(p, policy, /*fast=*/false, 1, kWindows);
+
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            EXPECT_EQ(governedFuzzRun(p, policy, true, threads, kWindows),
+                      ref)
+                << policy << " diverged at " << threads << " threads";
+        }
+        // Checkpoint both at an epoch boundary (2) and mid-epoch (3).
+        const std::uint32_t split = 2 + (seed % 2);
+        EXPECT_EQ(
+            governedFuzzRun(p, policy, true, 8, kWindows, split), ref)
+            << policy << " diverged across checkpoint at window "
+            << split;
         if (::testing::Test::HasFatalFailure())
             return;
     }
