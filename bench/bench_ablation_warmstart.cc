@@ -183,12 +183,8 @@ main(int argc, char **argv)
     const std::uint32_t windows = args.samples;
     const bool cold_only = args.hasFlag("--cold");
     const bool verify = args.hasFlag("--verify");
-    if (args.checkpointEvery > 0 && args.checkpointOut.empty()) {
-        std::fprintf(stderr,
-                     "%s: --checkpoint-every requires --checkpoint-out\n",
-                     argv[0]);
-        return 2;
-    }
+    // --checkpoint-every/--checkpoint-out consistency is enforced
+    // centrally by parseBenchArgs.
 
     std::vector<PointResult> warm, cold;
     double warm_s = 0.0, cold_s = 0.0;

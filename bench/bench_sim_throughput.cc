@@ -14,6 +14,8 @@
 #include "chip/chip_instance.hh"
 #include "common/parallel.hh"
 #include "isa/assembler.hh"
+#include "sampling/profiler.hh"
+#include "sampling/sampled_run.hh"
 #include "service/client.hh"
 #include "service/request.hh"
 #include "service/scheduler.hh"
@@ -169,6 +171,46 @@ BENCHMARK(BM_SweepVfOperatingPoints)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Sampled-run estimate from a standing profile: the per-estimate cost
+ * of sampled simulation (DESIGN.md §14) — cluster the interval BBVs,
+ * fork each representative slice from its checkpoint image, re-simulate
+ * the slices, stitch.  The profile itself is paid once outside the
+ * timing loop, exactly as a sweep reusing one profile would pay it.
+ * Items processed counts the instructions the estimate *stands for*,
+ * so the rate is directly comparable to BM_FullChipInt's.
+ */
+void
+BM_SampledFullChip(benchmark::State &state)
+{
+    sim::SystemOptions opts;
+    opts.bbvBuckets = 128;
+    sim::System sys(opts);
+    const isa::Program kernel = workloads::makePhasedEnergyProgram(24);
+    for (TileId tile = 0; tile < 25; ++tile)
+        for (ThreadId tid = 0; tid < 2; ++tid) {
+            const RegVal hwid = tile * 2 + tid;
+            sys.loadProgram(tile, tid, &kernel,
+                            {{1, workloads::kMixedDataBase + hwid * 4096}});
+        }
+    sampling::ProfilerOptions popts;
+    popts.intervalInsns = 100'000;
+    sampling::IntervalProfiler prof(sys, popts);
+    prof.run(4'000'000'000ULL);
+
+    sampling::SampledOptions sopts;
+    sopts.threads = 1;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        const sampling::SampledEstimate est =
+            sampling::runSampled(prof.intervals(), opts, sopts);
+        total += est.totalInsns;
+        benchmark::DoNotOptimize(est.energyJ);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_SampledFullChip)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 /** A small power request for the service-path benchmarks: 2 cores,
  *  short warmup, a handful of monitor samples. */

@@ -216,6 +216,24 @@ parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
             args.positionals.emplace_back(a);
         }
     }
+
+    // Cross-flag validation: mutually exclusive or dependent flag
+    // combinations are hard errors here, not per-bench warnings, so
+    // every binary rejects them identically.
+    if (args.checkpointEvery > 0 && args.checkpointOut.empty())
+        detail::usageError(prog, "--checkpoint-every requires",
+                           "--checkpoint-out");
+    if (args.hasFlag("--sampled")) {
+        // A sampled run re-simulates slices forked from its own
+        // profile; layering it over an unrelated resume image or a
+        // periodic checkpoint stream is undefined.
+        if (!args.resumeFrom.empty())
+            detail::usageError(prog, "--sampled is incompatible with",
+                               "--resume-from");
+        if (args.checkpointEvery > 0 || !args.checkpointOut.empty())
+            detail::usageError(prog, "--sampled is incompatible with",
+                               "--checkpoint-every/--checkpoint-out");
+    }
     return args;
 }
 

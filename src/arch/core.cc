@@ -79,6 +79,30 @@ Core::storeBufferDepth(Cycle now) const
     return depth;
 }
 
+void
+Core::enableBbv(std::uint32_t buckets)
+{
+    if (buckets == 0) {
+        bbv_.clear();
+        bbv_.shrink_to_fit();
+        bbvShift_ = 0;
+        bbvBuckets_ = 0;
+        return;
+    }
+    // buckets == 1 would make bbvShift_ 64 (shift UB); there is no
+    // reason to profile into a single bucket anyway.
+    piton_assert(buckets >= 2 && buckets <= (1u << 20)
+                     && (buckets & (buckets - 1)) == 0,
+                 "BBV buckets must be a power of two in [2, 2^20], got %u",
+                 buckets);
+    std::uint32_t lg = 0;
+    while ((1u << lg) != buckets)
+        ++lg;
+    bbvShift_ = 64 - lg;
+    bbvBuckets_ = buckets;
+    bbv_.assign(buckets, 0);
+}
+
 bool
 Core::allThreadsDone() const
 {
@@ -207,6 +231,8 @@ Core::tickImpl(Cycle now)
         if (trace_)
             trace_(tile_, pick, now, prog->pcOf(pc_before),
                    prog->at(pc_before));
+        if (bbvShift_ != 0)
+            noteBbv(pick, pc_before);
     }
     draftActive_ = false;
     return TickOutcome::Picked;
@@ -306,6 +332,7 @@ Core::runAheadBurst(Cycle from, Cycle lim)
 
             // Committed to this issue: replicate tickImpl's per-cycle
             // charge order (thread switch, fetch, exec).
+            const std::uint32_t pc_issue = t.pc;
             capCycle_ = cur;
             if (pick != last) {
                 ++threadSwitches_;
@@ -347,6 +374,8 @@ Core::runAheadBurst(Cycle from, Cycle lim)
             ++t.classCounts[static_cast<std::size_t>(cls)];
             t.readyAt = cur + d.latency;
             ++t.instsExecuted;
+            if (bbvShift_ != 0)
+                noteBbv(pick, pc_issue);
 
             r.last = cur;
             r.ticked = true;

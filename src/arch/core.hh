@@ -268,6 +268,24 @@ class Core
     /** Store-buffer occupancy (diagnostics / tests). */
     std::size_t storeBufferDepth(Cycle now) const;
 
+    // ---- BBV profiling (DESIGN.md §14) -------------------------------
+
+    /**
+     * Enable basic-block-vector accumulation: every retired instruction
+     * bumps one of `buckets` hashed PC-histogram counters (noteBbv).
+     * `buckets` must be a power of two in [2, 2^20]; 0 disables and
+     * frees the histogram.  Unlike the trace hook this does not disable
+     * the run-ahead engine: the counters are commutative integers
+     * bumped in retire order, identical under both engines and at any
+     * shard count.
+     */
+    void enableBbv(std::uint32_t buckets);
+    std::uint32_t bbvBuckets() const { return bbvBuckets_; }
+    /** The histogram (size bbvBuckets(); empty when disabled). */
+    const std::vector<std::uint64_t> &bbvCounts() const { return bbv_; }
+    /** Mutable view for the chip's checkpoint code (chip.bbv). */
+    std::vector<std::uint64_t> &bbvData() { return bbv_; }
+
     /**
      * Per-instruction trace hook (gem5-style exec tracing): invoked
      * after every retired instruction with (tile, thread, cycle, pc,
@@ -358,6 +376,18 @@ class Core
         charge(power::Category::Exec,
                energy_.instructionEnergy(cls, activity).scaled(scale));
     }
+    /** BBV bump for one retired instruction: hash (thread, pc-index)
+     *  into a bucket.  Fibonacci multiplicative hash; the shift keeps
+     *  the high bits so the bucket count stays a pure mask-free
+     *  power-of-two reduction. */
+    void
+    noteBbv(ThreadId tid, std::uint32_t pc)
+    {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(tid) << 32) | pc;
+        ++bbv_[(key * 0x9E3779B97F4A7C15ull) >> bbvShift_];
+    }
+
     void drainStoreBuffer(Cycle now);
     /** Execution-Drafting check: does (program, pc) match the sibling
      *  thread's last issued instruction? Updates draft tracking. */
@@ -377,6 +407,12 @@ class Core
     /** Chip-owned SoA of per-tile accumulators; this core only ever
      *  touches slot tile_. */
     power::TileEnergyLedger &tileEnergy_;
+    /** BBV histogram (see enableBbv); empty when disabled. */
+    std::vector<std::uint64_t> bbv_;
+    /** 64 - log2(bbvBuckets_); 0 = BBV disabled (the retire-path
+     *  guard, so the disabled cost is one register test). */
+    std::uint32_t bbvShift_ = 0;
+    std::uint32_t bbvBuckets_ = 0;
     /** Active charge-capture log (see beginCapture), or nullptr. */
     std::vector<power::CapturedCharge> *capLog_ = nullptr;
     Cycle capBase_ = 0;

@@ -1,6 +1,7 @@
 #include "arch/piton_chip.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <utility>
 
@@ -10,6 +11,38 @@
 
 namespace piton::arch
 {
+
+namespace
+{
+
+/**
+ * Stable two-way merge of sorted charge runs by cycleDelta.  Equal
+ * keys take from the left run first; the merge tree only ever pairs a
+ * run of lower core indices on the left, so the merged order is the
+ * global (cycle, core) replay order — the exact FP add order of
+ * in-order stepping (DESIGN.md §12).
+ */
+void
+mergeChargeRuns(const power::CapturedCharge *a, std::size_t na,
+                const power::CapturedCharge *b, std::size_t nb,
+                power::CapturedCharge *out)
+{
+    while (na != 0 && nb != 0) {
+        if (b->cycleDelta < a->cycleDelta) {
+            *out++ = *b++;
+            --nb;
+        } else {
+            *out++ = *a++;
+            --na;
+        }
+    }
+    if (na != 0)
+        std::memcpy(out, a, na * sizeof(*a));
+    else if (nb != 0)
+        std::memcpy(out, b, nb * sizeof(*b));
+}
+
+} // namespace
 
 PitonChip::PitonChip(const config::PitonParams &params,
                      const chip::ChipInstance &instance,
@@ -331,16 +364,82 @@ PitonChip::runAheadRound(Cycle start, Cycle lim)
     // distinct charge cycles (as offsets from `start`), skipping gaps.
     //
     // Sharded rounds split the replay: the category/total merge is one
-    // global FP chain and stays serial (shard 0), while the per-tile
+    // global FP chain and must stay a serial scan, while the per-tile
     // sums — each of which depends only on its own core's log order —
     // are summed by the other shards in parallel over the same
     // read-only logs.  Serial and split replay perform the identical
     // double additions in the identical order per accumulator.
+    //
+    // To shrink the serial residue, the gang first tree-merges the
+    // per-core logs into one contiguous (cycle, core)-ordered array:
+    // adjacent sorted runs merge pairwise per level, pairs distributed
+    // round-robin over the shards.  The merged content is a pure
+    // function of the logs — the shard assignment only decides who
+    // copies which pair — so it is bit-identical at any thread count.
+    // The global FP chain then degenerates from an interleaved
+    // 25-cursor walk (re-scanning every log per distinct cycle) to a
+    // linear pass over contiguous memory (replayMerged), and the merge
+    // itself — ~log2(tiles) copy passes — runs on all shards.
     if (sharded) {
         const unsigned shards = gang_->shards();
+        std::size_t total = 0;
+        for (const auto &log : chargeLogs_)
+            total += log.size();
+        mergeA_.resize(total);
+        mergeB_.resize(total);
+        // Level 1 merges adjacent per-core logs straight out of the
+        // logs; segment s covers cores 2s and 2s+1, so offsets are the
+        // prefix sums of the pair sizes.
+        std::size_t nseg = (n + 1) / 2;
+        mergeOff_.assign(nseg + 1, 0);
+        for (std::size_t s = 0; s < nseg; ++s) {
+            std::size_t len = chargeLogs_[2 * s].size();
+            if (2 * s + 1 < n)
+                len += chargeLogs_[2 * s + 1].size();
+            mergeOff_[s + 1] = mergeOff_[s] + len;
+        }
+        std::vector<power::CapturedCharge> *cur = &mergeA_;
+        std::vector<power::CapturedCharge> *nxt = &mergeB_;
+        gang_->run([&](unsigned shard) {
+            for (std::size_t s = shard; s < nseg; s += shards) {
+                const auto &a = chargeLogs_[2 * s];
+                const bool has_b = 2 * s + 1 < n;
+                mergeChargeRuns(
+                    a.data(), a.size(),
+                    has_b ? chargeLogs_[2 * s + 1].data() : nullptr,
+                    has_b ? chargeLogs_[2 * s + 1].size() : 0,
+                    cur->data() + mergeOff_[s]);
+            }
+        });
+        while (nseg > 1) {
+            // Pair s of this level reads segments 2s/2s+1 and writes at
+            // the left segment's offset (merging neighbours preserves
+            // the prefix layout), so the next level's offsets are the
+            // even entries of this one plus the total sentinel.
+            const std::size_t half = (nseg + 1) / 2;
+            gang_->run([&](unsigned shard) {
+                for (std::size_t s = shard; s < half; s += shards) {
+                    const std::size_t lo = mergeOff_[2 * s];
+                    const std::size_t mid = mergeOff_[2 * s + 1];
+                    const bool has_b = 2 * s + 1 < nseg;
+                    const std::size_t hi =
+                        has_b ? mergeOff_[2 * s + 2] : mid;
+                    mergeChargeRuns(cur->data() + lo, mid - lo,
+                                    has_b ? cur->data() + mid : nullptr,
+                                    hi - mid, nxt->data() + lo);
+                }
+            });
+            mergeOffNext_.assign(half + 1, 0);
+            for (std::size_t s = 0; s < half; ++s)
+                mergeOffNext_[s] = mergeOff_[2 * s];
+            mergeOffNext_[half] = total;
+            mergeOff_.swap(mergeOffNext_);
+            std::swap(cur, nxt);
+            nseg = half;
+        }
         gang_->run([&](unsigned shard) {
             if (shard == 0) {
-                ledger_.replayCategoryCaptures(chargeLogs_, logPos_);
+                ledger_.replayMerged(*cur);
                 return;
             }
             const unsigned workers = shards - 1;
@@ -451,6 +550,14 @@ PitonChip::tileMemStallCycles() const
     return out;
 }
 
+void
+PitonChip::enableBbv(std::uint32_t buckets)
+{
+    bbvBuckets_ = buckets;
+    for (auto &c : cores_)
+        c->enableBbv(buckets);
+}
+
 std::uint32_t
 PitonChip::activeThreads() const
 {
@@ -517,6 +624,27 @@ PitonChip::serialize(ckpt::Archive &ar)
     ar.beginSection("chip.cores");
     for (auto &core : cores_)
         core->serialize(ar, pt);
+    ar.endSection();
+
+    // BBV histograms (format v4).  Always written — buckets 0 with an
+    // empty payload when disabled — so restore re-establishes the exact
+    // profiling state, counts included.
+    ar.beginSection("chip.bbv");
+    std::uint32_t buckets = bbvBuckets_;
+    ar.io(buckets);
+    ckpt::Archive::check(buckets == 0
+                             || (buckets >= 2 && buckets <= (1u << 20)
+                                 && (buckets & (buckets - 1)) == 0),
+                         "bad BBV bucket count");
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(buckets) * cores_.size();
+    ckpt::Archive::check(ar.ioSize(expect, 8) == expect,
+                         "BBV payload size mismatch");
+    if (ar.loading())
+        enableBbv(buckets);
+    for (auto &core : cores_)
+        for (auto &v : core->bbvData())
+            ar.io(v);
     ar.endSection();
 
     // nextAt_ and the run-ahead scratch are rebuilt on every run()

@@ -152,6 +152,29 @@ class PitonChip
     /** Per-tile cumulative retired-instruction counts. */
     std::vector<std::uint64_t> tileInsts() const;
 
+    // ---- BBV profiling (DESIGN.md §14) -------------------------------
+
+    /**
+     * Enable basic-block-vector accumulation on every core: each
+     * retired instruction bumps one of `buckets` hashed PC-histogram
+     * counters per tile (Core::noteBbv).  `buckets` must be a power of
+     * two in [2, 2^20]; 0 disables and clears.  Counts are plain
+     * integers bumped in retire order, so the histograms are identical
+     * under both engines and at any engineThreads — the property the
+     * sampling subsystem's slice selection rests on.  Enablement and
+     * counts are checkpointed (the chip.bbv section, format v4), so a
+     * restored chip keeps profiling without re-wiring.
+     */
+    void enableBbv(std::uint32_t buckets);
+    /** Buckets per tile (0 = disabled). */
+    std::uint32_t bbvBuckets() const { return bbvBuckets_; }
+    /** One tile's histogram (size bbvBuckets()). */
+    const std::vector<std::uint64_t> &
+    coreBbv(TileId t) const
+    {
+        return cores_[t]->bbvCounts();
+    }
+
     // ---- checkpointing (DESIGN.md §10) -------------------------------
 
     /**
@@ -230,12 +253,20 @@ class PitonChip
     std::vector<std::vector<power::CapturedCharge>> chargeLogs_;
     std::vector<std::size_t> logPos_;
     std::vector<std::pair<Cycle, std::size_t>> pauseHeap_;
+    /** Sharded phase-3 merge scratch (persistent for capacity): the
+     *  ping/pong arrays of the parallel stable tree merge and the
+     *  per-level segment offsets (one entry per segment + sentinel). */
+    std::vector<power::CapturedCharge> mergeA_;
+    std::vector<power::CapturedCharge> mergeB_;
+    std::vector<std::size_t> mergeOff_;
+    std::vector<std::size_t> mergeOffNext_;
     /** Sharded-engine state: resolved shard count, the resident gang
      *  (created lazily at the first sharded round, sized to
      *  engineThreads_), per-core phase-1 scratch, and the round
      *  counter.  All of it is speed-only — never checkpointed; the
      *  scratch is reset on restore. */
     unsigned engineThreads_ = 1;
+    std::uint32_t bbvBuckets_ = 0;
     std::unique_ptr<WorkerGang> gang_;
     std::vector<Core::AheadResult> aheadResults_;
     std::vector<std::uint8_t> aheadRan_;

@@ -65,8 +65,10 @@ inline constexpr char kMagic[8] = {'P', 'I', 'T', 'O', 'N', 'C', 'K', 'P'};
  *  v2: per-tile energies moved out of chip.cores into the SoA
  *  chip.tile_energy section.
  *  v3: optional sys.governor section (DVFS control-loop state) and the
- *  Volts/Amps telemetry units. */
-inline constexpr std::uint32_t kFormatVersion = 3;
+ *  Volts/Amps telemetry units.
+ *  v4: chip.bbv section (per-tile BBV histograms) and the optional
+ *  sys.sampling section (interval-profiler state). */
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /** CRC32 (IEEE 802.3, reflected) of a byte range. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t len);

@@ -492,6 +492,28 @@ class EnergyLedger
                        [](std::size_t, const RailEnergy &) {});
     }
 
+    /**
+     * The category/total chain over a pre-merged charge array.  The
+     * sharded engine merges the per-actor logs into one contiguous
+     * (cycle, actor)-ordered array in parallel (a stable tree merge,
+     * PitonChip::runAheadRound phase 3), so the serial residue shrinks
+     * to this linear scan.  The walk performs the identical double
+     * additions in the identical order as replayCategoryCaptures over
+     * the unmerged logs — merging only changes *where* the entries
+     * live, never the (cycle, actor) visit order — so the sums stay
+     * bit-identical at every engine thread count.
+     */
+    void
+    replayMerged(const std::vector<CapturedCharge> &merged)
+    {
+        RailEnergy tot = total_; // register-resident chain
+        for (const CapturedCharge &cc : merged) {
+            byCat_[cc.cat & (kCapturedCoreBit - 1)] += cc.e;
+            tot += cc.e;
+        }
+        total_ = tot;
+    }
+
     const RailEnergy &total() const { return total_; }
     const RailEnergy &
     category(Category c) const

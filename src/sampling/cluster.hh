@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic k-means phase clustering over interval BBV features
+ * (DESIGN.md §14).
+ *
+ * SimPoint-style: each profiling interval's BBV is L1-normalized into
+ * an instruction-frequency vector, intervals are clustered by squared
+ * Euclidean distance, and each cluster elects the interval closest to
+ * its centroid as the representative slice, weighted by the cluster's
+ * share of the retired instructions.
+ *
+ * Every step is serial with a fixed iteration order and explicit tie
+ * breaks (lowest index wins), and the inputs are integer BBV counts —
+ * so the clustering, the representatives, and the weights are
+ * bit-identical for a given profile regardless of engine, thread
+ * count, or host parallelism.
+ */
+
+#ifndef PITON_SAMPLING_CLUSTER_HH
+#define PITON_SAMPLING_CLUSTER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace piton::sampling
+{
+
+struct ClusterOptions
+{
+    /** Cluster count k (clamped to the point count; >= 1). */
+    std::uint32_t maxClusters = 8;
+    /** Lloyd-iteration cap (convergence usually takes far fewer). */
+    std::uint32_t maxIters = 64;
+    /** Seed for the farthest-point initialization (common/parallel.hh
+     *  deriveTaskSeed stream). */
+    std::uint64_t seed = 0x51CE;
+};
+
+struct ClusterResult
+{
+    std::uint32_t clusters = 0;
+    /** Per point: its cluster id. */
+    std::vector<std::uint32_t> assignment;
+    /** Per cluster: the representative point (argmin distance to the
+     *  final centroid; ties to the lowest index). */
+    std::vector<std::uint32_t> representative;
+    /** Per cluster: its share of the total point weight (sums to 1). */
+    std::vector<double> weight;
+    /** Per cluster: total point weight (e.g. instructions). */
+    std::vector<double> weightSum;
+    std::uint32_t iterations = 0;
+};
+
+/** L1-normalize a BBV count vector into a frequency feature (all-zero
+ *  input stays all-zero). */
+std::vector<double> normalizeBbv(const std::vector<std::uint64_t> &bbv);
+
+/**
+ * Weighted k-means over `points` (all the same dimensionality).
+ * `weights` (same length; e.g. per-interval instruction counts) drive
+ * the centroid means and the cluster weights.  Initialization is
+ * seeded farthest-point: the first center is seed-derived, each later
+ * center is the point farthest from its nearest chosen center.
+ * Empty clusters re-seed to the globally worst-fit point.
+ */
+ClusterResult kmeansCluster(const std::vector<std::vector<double>> &points,
+                            const std::vector<double> &weights,
+                            const ClusterOptions &opts);
+
+} // namespace piton::sampling
+
+#endif // PITON_SAMPLING_CLUSTER_HH

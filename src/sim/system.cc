@@ -53,6 +53,8 @@ System::System(SystemOptions opts)
                                               energy_, opts_.seed);
     chip_->setFastPath(opts_.fastPath);
     chip_->setEngineThreads(opts_.engineThreads);
+    if (opts_.bbvBuckets != 0)
+        chip_->enableBbv(opts_.bbvBuckets);
     board_.setSupply(power::Rail::Vdd, opts_.vddV);
     board_.setSupply(power::Rail::Vcs, opts_.vcsV);
     board_.setSupply(power::Rail::Vio, opts_.vioV);
@@ -620,10 +622,18 @@ System::runToCompletion(Cycle max_cycles)
                                 leak_re);
         sampleClockS_ += dt;
         run_s += dt;
+        // The hook observes the fully-accounted window; a completed run
+        // still reports completed even if the hook also asked to stop.
+        bool hook_stop = false;
+        if (windowHook_)
+            hook_stop = !windowHook_(
+                WindowObs{elapsed, dt, (clock_w + leak_w) * dt, done});
         if (done) {
             res.completed = true;
             break;
         }
+        if (hook_stop)
+            break;
     }
 
     res.cycles = chip_->now() - start_cycle;
@@ -745,6 +755,18 @@ System::serializeSystem(ckpt::Archive &ar)
         }
     }
 
+    // Extension-client state (the sampling interval profiler today,
+    // DESIGN.md §14) rides along only while a client is attached; same
+    // attach-before-restore contract as the recorder below.
+    const bool do_client =
+        client_ != nullptr
+        && (ar.saving() || ar.hasSection(client_->checkpointSection()));
+    if (do_client) {
+        ar.beginSection(client_->checkpointSection());
+        client_->serializeClient(ar);
+        ar.endSection();
+    }
+
     // Recorder contents ride along only when one is attached at save
     // time; on restore the section is applied only if a recorder is
     // attached to receive it (attach first, then restore).
@@ -790,6 +812,11 @@ System::restoreBytes(const std::vector<std::uint8_t> &bytes,
     // restored counters (the nominal operating point still applies).
     if (gov_ != nullptr && !ar.hasSection("sys.governor"))
         snapshotGovernorBaselines();
+    // And the extension client: an image without its section restarts
+    // the client on the restored counters.
+    if (client_ != nullptr
+        && !ar.hasSection(client_->checkpointSection()))
+        client_->rebaseline(*this);
     if (mark_telemetry_event && telem_) {
         const std::size_t id =
             telem_->defineSeries(telemetry::schema::kEventRestore,

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,12 @@ struct SystemOptions
      *  at any value (tests/test_fastpath_equiv.cc sweeps 1/2/8). */
     unsigned engineThreads = 1;
 
+    /** BBV histogram buckets per tile for the sampling subsystem's
+     *  interval profiler (DESIGN.md §14); power of two in [2, 2^20],
+     *  0 disables.  The counters are commutative integers, so enabling
+     *  them never perturbs results — only adds a per-retire bump. */
+    std::uint32_t bbvBuckets = 0;
+
     power::EnergyParams energyParams = power::defaultEnergyParams();
     thermal::ThermalParams thermalParams;
 };
@@ -92,6 +99,47 @@ struct CompletionResult
     double activeEnergyJ = 0.0;
     /** Clock tree + leakage over the run ("idle" portion). */
     double idleEnergyJ = 0.0;
+};
+
+class System;
+
+/** One recorded run window, as observed by a WindowHook. */
+struct WindowObs
+{
+    Cycle cycles = 0;        ///< cycles the chip advanced this window
+    double windowS = 0.0;    ///< wall-clock seconds of the window
+    double idleEnergyJ = 0.0;///< clock-tree + leakage J of the window
+    bool done = false;       ///< the workload finished in this window
+};
+
+/**
+ * Per-window observer for runToCompletion: invoked after each window's
+ * accounting (thermal step, telemetry, governor, sample clock) with the
+ * window's observation.  Return false to stop the run after this window
+ * — the result reports the partial run with completed == false.  The
+ * sampling profiler uses this to cut intervals and to stop slice
+ * replays at exact window boundaries (DESIGN.md §14).
+ */
+using WindowHook = std::function<bool(const WindowObs &)>;
+
+/**
+ * A subsystem that rides along in System checkpoints (the sampling
+ * profiler is the one client today).  Mirrors the telemetry/governor
+ * contract: the client's section is written only while attached, and
+ * restoring an image without the section re-baselines the client on the
+ * restored state instead (attach first, then restore).
+ */
+class CheckpointClient
+{
+  public:
+    virtual ~CheckpointClient() = default;
+    /** Archive section name, e.g. "sys.sampling"; must be stable. */
+    virtual const char *checkpointSection() const = 0;
+    /** Symmetric field I/O for the client's state. */
+    virtual void serializeClient(ckpt::Archive &ar) = 0;
+    /** Restored an image with no client section: restart from the
+     *  restored counters (like snapshotTelemetryBaselines). */
+    virtual void rebaseline(System &sys) = 0;
 };
 
 class System
@@ -179,6 +227,19 @@ class System
      */
     void attachGovernor(governor::Governor *gov);
     governor::Governor *dvfsGovernor() const { return gov_; }
+
+    /** Install the per-window observer (see WindowHook); empty
+     *  function detaches.  Purely observational unless it stops the
+     *  run, so hooked runs are otherwise bit-identical. */
+    void setWindowHook(WindowHook hook) { windowHook_ = std::move(hook); }
+
+    /** Attach/detach (nullptr) the checkpoint extension client whose
+     *  state rides along in saveBytes (see CheckpointClient). */
+    void attachCheckpointClient(CheckpointClient *client)
+    {
+        client_ = client;
+    }
+    CheckpointClient *checkpointClient() const { return client_; }
 
     /** Tiles duty-gated for the window currently being set up/run. */
     std::uint32_t gatedTileCount() const { return gatedTiles_; }
@@ -270,6 +331,8 @@ class System
     power::RailEnergy prevLedger_;
 
     telemetry::TelemetryRecorder *telem_ = nullptr;
+    WindowHook windowHook_;
+    CheckpointClient *client_ = nullptr;
     double sampleClockS_ = 0.0;
     /** Series indices into telem_, resolved once at attach. */
     struct TelemetryIds

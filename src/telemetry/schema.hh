@@ -91,6 +91,18 @@ inline constexpr const char *kSweepPowerW = "sweep.power_w";
 inline constexpr const char *kSweepPackageC = "sweep.package_c";
 inline constexpr const char *kSweepFan = "sweep.fan_effectiveness";
 
+/** Interval-profiler trace (sampling::IntervalProfiler, one sample per
+ *  closed interval; DESIGN.md §14).  The time axis is the sample
+ *  clock at interval close; interval_insns/cycles/energy_j are the
+ *  interval's own totals, intervals is a running count marker. */
+inline constexpr const char *kSamplingIntervalInsns =
+    "sampling.interval_insns";
+inline constexpr const char *kSamplingIntervalCycles =
+    "sampling.interval_cycles";
+inline constexpr const char *kSamplingIntervalEnergyJ =
+    "sampling.interval_energy_j";
+inline constexpr const char *kSamplingIntervals = "sampling.intervals";
+
 /** Experiment-service metrics (service::ExperimentScheduler): the time
  *  axis is the export sequence number (dt = 1), gauges sampled at
  *  export time.  Exported by ExperimentScheduler::exportTelemetry and

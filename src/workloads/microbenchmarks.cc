@@ -196,6 +196,54 @@ makeTwoPhaseProgram(std::uint64_t compute_iters, std::uint64_t idle_iters)
     return b.build();
 }
 
+isa::Program
+makePhasedEnergyProgram(std::uint64_t reps)
+{
+    isa::ProgramBuilder b;
+    b.set(2, 0xAAAAAAAAAAAAAAAAULL);
+    b.set(3, 0x5555555555555555ULL);
+    b.set(30, 0);
+    b.label("loop");
+    // Integer phase: high switching activity.
+    b.set(20, 0);
+    b.label("intp");
+    b.xorr(4, 2, 3);
+    b.add(5, 4, 3);
+    b.xorr(6, 5, 2);
+    b.andr(7, 6, 3);
+    b.orr(8, 7, 2);
+    b.xorr(9, 8, 3);
+    b.add(10, 9, 2);
+    b.xorr(11, 10, 3);
+    b.addi(20, 20, 1);
+    b.cmpi(20, 400);
+    b.bl("intp");
+    // Memory phase: private-region loads/stores (L1-resident).
+    b.set(20, 0);
+    b.label("memp");
+    b.ldx(12, 1, 0);
+    b.stx(11, 1, 16);
+    b.ldx(13, 1, 32);
+    b.stx(9, 1, 48);
+    b.addi(20, 20, 1);
+    b.cmpi(20, 300);
+    b.bl("memp");
+    // Near-idle phase: nops only.
+    b.set(20, 0);
+    b.label("idle");
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.addi(20, 20, 1);
+    b.cmpi(20, 300);
+    b.bl("idle");
+    emitLoopTail(b, reps, 30);
+    return b.build();
+}
+
 void
 initHistData(arch::MainMemory &memory, std::uint64_t elements, Rng &rng)
 {

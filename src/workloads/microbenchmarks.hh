@@ -69,6 +69,15 @@ isa::Program makeHistProgram(std::uint64_t outer_iterations);
 isa::Program makeTwoPhaseProgram(std::uint64_t compute_iters,
                                  std::uint64_t idle_iters);
 
+/**
+ * Phased energy workload for sampled-simulation studies: every outer
+ * rep runs an integer-heavy phase, a load/store phase (private region
+ * in r1, L1-resident), and a near-idle nop phase — three distinct BBV
+ * signatures with distinct power — then halts after `reps` reps
+ * (~9.2k instructions per thread per rep).
+ */
+isa::Program makePhasedEnergyProgram(std::uint64_t reps);
+
 /** Thread-to-core mapping for the microbenchmark studies. */
 enum class Microbench
 {

@@ -123,6 +123,38 @@ TEST(BenchUtil, ExtraOptionMissingValueIsAHardError)
                 testing::ExitedWithCode(2), "missing value");
 }
 
+TEST(BenchUtil, CheckpointEveryWithoutOutIsAHardError)
+{
+    Argv a({"bench", "--checkpoint-every", "10"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv()),
+                testing::ExitedWithCode(2),
+                "--checkpoint-every requires");
+}
+
+TEST(BenchUtil, SampledWithResumeFromIsAHardError)
+{
+    Argv a({"bench", "--sampled", "--resume-from", "old.bin"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv(), 128, 1, {"--sampled"}),
+                testing::ExitedWithCode(2),
+                "--sampled is incompatible with");
+}
+
+TEST(BenchUtil, SampledWithCheckpointOutIsAHardError)
+{
+    Argv a({"bench", "--sampled", "--checkpoint-out", "ck.bin"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv(), 128, 1, {"--sampled"}),
+                testing::ExitedWithCode(2),
+                "--sampled is incompatible with");
+}
+
+TEST(BenchUtil, SampledAloneParses)
+{
+    Argv a({"bench", "--sampled"});
+    const BenchArgs args =
+        parseBenchArgs(a.argc(), a.argv(), 128, 1, {"--sampled"});
+    EXPECT_TRUE(args.hasFlag("--sampled"));
+}
+
 TEST(BenchUtil, NonAllowListedExtraIsStillUnknown)
 {
     Argv a({"bench", "--port", "1234"});
