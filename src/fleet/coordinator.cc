@@ -1,0 +1,390 @@
+#include "fleet/coordinator.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "telemetry/recorder.hh"
+#include "telemetry/schema.hh"
+
+namespace piton::fleet
+{
+
+using service::ClientResult;
+using service::ExperimentRequest;
+using service::SchedulerMetrics;
+using service::ServiceError;
+using service::TcpClient;
+using service::VersionMismatchError;
+using service::WorkerStats;
+
+FleetCoordinator::FleetCoordinator(FleetConfig cfg)
+    : cfg_(std::move(cfg)), pool_(cfg_.maxIdlePerWorker),
+      ring_(cfg_.vnodes)
+{
+    if (cfg_.workerPorts.empty())
+        throw ServiceError("fleet: no worker ports configured");
+    for (const std::uint16_t port : cfg_.workerPorts) {
+        Worker w;
+        w.port = port;
+        // Handshake for the worker's identity.  An unreachable worker
+        // joins the ring under the server's default naming so the
+        // membership (and thus every key's owner) does not depend on
+        // which members happened to be up at construction time.
+        try {
+            TcpClient client(net::connectTcp(port, cfg_.connectTimeoutMs));
+            const service::HelloReply h =
+                client.hello(cfg_.healthTimeoutMs, cfg_.clientName);
+            w.id = h.workerId;
+            w.up = true;
+            if (client.reusable())
+                pool_.release(port, client.releaseSocket());
+        } catch (const VersionMismatchError &) {
+            throw; // mis-deployed worker: refuse to start
+        } catch (const std::exception &) {
+            w.id = "worker-" + std::to_string(port);
+            w.up = false;
+        }
+        for (const Worker &other : workers_)
+            if (other.id == w.id)
+                throw ServiceError("fleet: duplicate worker id '" + w.id
+                                   + "'");
+        ring_.addWorker(w.id);
+        workers_.push_back(std::move(w));
+    }
+    counters_.workersTotal = workers_.size();
+
+    if (cfg_.healthIntervalMs > 0)
+        healthThread_ = std::thread([this] { healthLoop(); });
+}
+
+FleetCoordinator::~FleetCoordinator()
+{
+    {
+        std::lock_guard<std::mutex> lock(healthMu_);
+        stopping_ = true;
+    }
+    healthCv_.notify_all();
+    if (healthThread_.joinable())
+        healthThread_.join();
+}
+
+void
+FleetCoordinator::healthLoop()
+{
+    std::unique_lock<std::mutex> lock(healthMu_);
+    while (!stopping_) {
+        healthCv_.wait_for(
+            lock, std::chrono::milliseconds(cfg_.healthIntervalMs),
+            [this] { return stopping_; });
+        if (stopping_)
+            return;
+        lock.unlock();
+        checkHealthOnce();
+        lock.lock();
+    }
+}
+
+Hash128
+FleetCoordinator::routingKey(const ExperimentRequest &req)
+{
+    ExperimentRequest canon = req;
+    try {
+        canon.canonicalize();
+    } catch (const std::exception &) {
+        // Malformed requests still need *a* deterministic owner (the
+        // worker will produce the Status::Error body).
+        return Hash128{};
+    }
+    // Sweeps route by their warm-start prefix so tails sharing a
+    // prefix image all land where the image lives; everything else
+    // routes by its exact cache key.
+    return canon.kind == service::Kind::Sweep ? canon.prefixKey()
+                                              : canon.cacheKey();
+}
+
+std::vector<std::size_t>
+FleetCoordinator::candidateOrder(const Hash128 &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<std::string> replicas =
+        ring_.replicasFor(key, workers_.size());
+    std::vector<std::size_t> healthy, down;
+    for (const std::string &id : replicas) {
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            if (workers_[i].id != id)
+                continue;
+            (workers_[i].up ? healthy : down).push_back(i);
+            break;
+        }
+    }
+    healthy.insert(healthy.end(), down.begin(), down.end());
+    return healthy;
+}
+
+ClientResult
+FleetCoordinator::runOnWorker(std::size_t widx,
+                              const ExperimentRequest &req)
+{
+    std::uint16_t port;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        port = workers_[widx].port;
+    }
+    TcpClient client(pool_.acquire(port, cfg_.connectTimeoutMs));
+    ClientResult result = client.run(req);
+    if (client.reusable())
+        pool_.release(port, client.releaseSocket());
+    return result;
+}
+
+ClientResult
+FleetCoordinator::run(const ExperimentRequest &req)
+{
+    const Hash128 key = routingKey(req);
+    const std::vector<std::size_t> candidates = candidateOrder(key);
+    if (candidates.empty())
+        throw ServiceError("fleet: no workers on the ring");
+
+    ClientResult shed_result;
+    bool have_shed = false;
+    std::size_t attempt = 0;
+    for (const std::size_t widx : candidates) {
+        ++attempt;
+        try {
+            ClientResult result = runOnWorker(widx, req);
+            if (result.status == service::Status::Shed) {
+                // Shedding means "alive but not taking this" — either
+                // admission backpressure or a mid-shutdown drain.  Try
+                // the next replica; only if every replica sheds does
+                // the backpressure surface to the caller.
+                std::lock_guard<std::mutex> lock(mu_);
+                piton_warn("fleet: worker %s shed the request; "
+                           "rerouting",
+                           workers_[widx].id.c_str());
+                markDown(widx);
+                ++workers_[widx].failures;
+                ++counters_.retries;
+                shed_result = std::move(result);
+                have_shed = true;
+                continue;
+            }
+            std::lock_guard<std::mutex> lock(mu_);
+            markUp(widx);
+            ++workers_[widx].requests;
+            ++counters_.requests;
+            if (result.servedFromCache)
+                ++counters_.cacheHits;
+            if (attempt > 1)
+                ++counters_.failovers;
+            return result;
+        } catch (const VersionMismatchError &) {
+            // Deploy skew, not a transient fault: failing over would
+            // hide an operational error behind a healthy-looking run.
+            throw;
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(mu_);
+            piton_warn("fleet: worker %s failed (%s); rerouting",
+                       workers_[widx].id.c_str(), e.what());
+            markDown(widx);
+            ++workers_[widx].failures;
+            ++counters_.retries;
+            pool_.invalidate(workers_[widx].port);
+        }
+    }
+    if (have_shed) {
+        // Fleet-wide backpressure behaves like single-node shedding.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.requests;
+        return shed_result;
+    }
+    throw ServiceError("fleet: request failed on all "
+                       + std::to_string(candidates.size())
+                       + " ring replicas");
+}
+
+SchedulerMetrics
+FleetCoordinator::stats()
+{
+    std::vector<std::uint16_t> ports;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const Worker &w : workers_)
+            if (w.up)
+                ports.push_back(w.port);
+    }
+    SchedulerMetrics sum;
+    for (const std::uint16_t port : ports) {
+        try {
+            TcpClient client(pool_.acquire(port, cfg_.connectTimeoutMs));
+            const SchedulerMetrics m = client.workerStats().metrics;
+            if (client.reusable())
+                pool_.release(port, client.releaseSocket());
+            sum.submitted += m.submitted;
+            sum.completed += m.completed;
+            sum.shed += m.shed;
+            sum.errors += m.errors;
+            sum.cancelled += m.cancelled;
+            sum.deadlineExpired += m.deadlineExpired;
+            sum.cacheHits += m.cacheHits;
+            sum.queueDepth += m.queueDepth;
+        } catch (const std::exception &) {
+            pool_.invalidate(port);
+        }
+    }
+    sum.hitRate = sum.completed == 0
+                      ? 0.0
+                      : static_cast<double>(sum.cacheHits)
+                            / static_cast<double>(sum.completed);
+    return sum;
+}
+
+std::size_t
+FleetCoordinator::checkHealthOnce()
+{
+    std::vector<std::pair<std::size_t, std::uint16_t>> targets;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t i = 0; i < workers_.size(); ++i)
+            targets.emplace_back(i, workers_[i].port);
+    }
+    std::size_t up = 0;
+    for (const auto &[widx, port] : targets) {
+        bool ok = false;
+        try {
+            TcpClient client(pool_.acquire(port, cfg_.connectTimeoutMs));
+            client.ping(cfg_.healthTimeoutMs);
+            if (client.reusable())
+                pool_.release(port, client.releaseSocket());
+            ok = true;
+        } catch (const std::exception &) {
+            pool_.invalidate(port);
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (ok) {
+            markUp(widx);
+            ++up;
+        } else {
+            markDown(widx);
+        }
+    }
+    return up;
+}
+
+void
+FleetCoordinator::detachWorker(std::uint16_t port)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+        if (it->port != port)
+            continue;
+        ring_.removeWorker(it->id);
+        workers_.erase(it);
+        counters_.workersTotal = workers_.size();
+        break;
+    }
+    pool_.invalidate(port);
+}
+
+void
+FleetCoordinator::markUp(std::size_t widx)
+{
+    workers_[widx].up = true;
+}
+
+void
+FleetCoordinator::markDown(std::size_t widx)
+{
+    workers_[widx].up = false;
+}
+
+FleetMetrics
+FleetCoordinator::metrics() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    FleetMetrics m = counters_;
+    m.workersTotal = workers_.size();
+    m.workersUp = 0;
+    for (const Worker &w : workers_)
+        m.workersUp += w.up ? 1 : 0;
+    m.hitRate = m.requests == 0 ? 0.0
+                                : static_cast<double>(m.cacheHits)
+                                      / static_cast<double>(m.requests);
+    return m;
+}
+
+std::vector<WorkerSnapshot>
+FleetCoordinator::workerSnapshots() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<WorkerSnapshot> out;
+    for (const Worker &w : workers_) {
+        WorkerSnapshot s;
+        s.id = w.id;
+        s.port = w.port;
+        s.up = w.up;
+        s.requests = w.requests;
+        s.failures = w.failures;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::string
+FleetCoordinator::ownerOf(const ExperimentRequest &req) const
+{
+    const Hash128 key = routingKey(req);
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.ownerOf(key);
+}
+
+void
+FleetCoordinator::exportTelemetry(telemetry::TelemetryRecorder &rec)
+{
+    namespace schema = telemetry::schema;
+    const FleetMetrics m = metrics();
+    double seq;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        seq = static_cast<double>(exportSeq_++);
+    }
+    using telemetry::Downsample;
+    using telemetry::Unit;
+    const auto gauge = [&](const std::string &name, double value) {
+        const std::size_t idx =
+            rec.defineSeries(name, Unit::Count, Downsample::Mean);
+        rec.record(idx, seq, 1.0, value);
+    };
+    gauge(schema::kFleetRequests, static_cast<double>(m.requests));
+    gauge(schema::kFleetRetries, static_cast<double>(m.retries));
+    gauge(schema::kFleetFailovers, static_cast<double>(m.failovers));
+    gauge(schema::kFleetWorkersUp, static_cast<double>(m.workersUp));
+    gauge(schema::kFleetHitRate, m.hitRate);
+
+    // Per-worker gauges come from live StatsReply exchanges; a worker
+    // that cannot answer simply contributes no sample this round.
+    std::vector<std::pair<std::string, std::uint16_t>> targets;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const Worker &w : workers_)
+            if (w.up)
+                targets.emplace_back(w.id, w.port);
+    }
+    for (const auto &[id, port] : targets) {
+        try {
+            TcpClient client(pool_.acquire(port, cfg_.connectTimeoutMs));
+            const WorkerStats s = client.workerStats();
+            if (client.reusable())
+                pool_.release(port, client.releaseSocket());
+            const std::string prefix =
+                std::string(schema::kFleetWorkerPrefix) + id;
+            gauge(prefix + ".queue_depth",
+                  static_cast<double>(s.metrics.queueDepth));
+            gauge(prefix + ".hit_rate", s.metrics.hitRate);
+        } catch (const std::exception &) {
+            pool_.invalidate(port);
+        }
+    }
+}
+
+} // namespace piton::fleet

@@ -1,0 +1,33 @@
+#include "fleet/load.hh"
+
+namespace piton::fleet
+{
+
+service::ExperimentRequest
+loadPoint(std::size_t index)
+{
+    using service::Kind;
+    service::ExperimentRequest req;
+    req.workload.cores = 2;
+    req.workload.threadsPerCore = 1;
+    req.workload.totalElements = 256;
+    req.warmupCycles = 4000;
+    req.samples = 4;
+    // Distinct operating points so points don't collapse onto one
+    // cache key; an 11x8 grid before the pattern repeats.
+    req.vddV = 0.90 + 0.01 * static_cast<double>(index % 11);
+    req.coreClockMhz =
+        400.0 + 25.0 * static_cast<double>((index / 11) % 8);
+    if (index % 4 == 3) {
+        req.kind = Kind::Sweep;
+        // Both tails share one prefix image: the second point of each
+        // sweep is the warm-start (prefix-cache) path, and routing by
+        // prefixKey keeps the image and its consumers co-located.
+        req.tails = {{1.0, 2}, {0.0, 2}};
+    } else {
+        req.kind = Kind::MeasurePower;
+    }
+    return req;
+}
+
+} // namespace piton::fleet

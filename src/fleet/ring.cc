@@ -1,0 +1,104 @@
+#include "fleet/ring.hh"
+
+#include <stdexcept>
+
+namespace piton::fleet
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: FNV-1a avalanches weakly on short inputs, so
+ *  vnode points for consecutive replica indices come out correlated
+ *  and ownership shares can skew badly (one of four workers owning
+ *  half the keyspace).  Post-mixing the folded digest restores a
+ *  near-uniform spread. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+std::uint64_t
+HashRing::pointFor(const std::string &id, unsigned replica) const
+{
+    Hasher h;
+    h.update("fleet-ring");
+    h.update(id);
+    h.updateU32(replica);
+    const Hash128 d = h.digest();
+    return mix64(d.hi ^ d.lo);
+}
+
+void
+HashRing::addWorker(const std::string &id)
+{
+    if (id.empty())
+        throw std::runtime_error("HashRing: empty worker id");
+    if (!ids_.insert(id).second)
+        return;
+    for (unsigned r = 0; r < vnodes_; ++r) {
+        std::uint64_t point = pointFor(id, r);
+        // Deterministic probe on point collision (wrapping is fine).
+        while (ring_.count(point) != 0)
+            ++point;
+        ring_.emplace(point, id);
+    }
+}
+
+void
+HashRing::removeWorker(const std::string &id)
+{
+    if (ids_.erase(id) == 0)
+        return;
+    for (auto it = ring_.begin(); it != ring_.end();) {
+        if (it->second == id)
+            it = ring_.erase(it);
+        else
+            ++it;
+    }
+}
+
+const std::string &
+HashRing::ownerOf(const Hash128 &key) const
+{
+    if (ring_.empty())
+        throw std::runtime_error("HashRing: no workers");
+    const std::uint64_t point = mix64(key.hi ^ key.lo);
+    auto it = ring_.upper_bound(point);
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap past the highest point
+    return it->second;
+}
+
+std::vector<std::string>
+HashRing::replicasFor(const Hash128 &key, std::size_t n) const
+{
+    std::vector<std::string> out;
+    if (ring_.empty() || n == 0)
+        return out;
+    n = std::min(n, ids_.size());
+    const std::uint64_t point = mix64(key.hi ^ key.lo);
+    auto it = ring_.upper_bound(point);
+    // Walk at most one full revolution collecting distinct owners.
+    for (std::size_t steps = 0; steps < ring_.size() && out.size() < n;
+         ++steps, ++it) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        bool seen = false;
+        for (const std::string &id : out)
+            seen = seen || id == it->second;
+        if (!seen)
+            out.push_back(it->second);
+    }
+    return out;
+}
+
+} // namespace piton::fleet

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Consistent-hash ring for the experiment fleet (DESIGN.md §15).
+ *
+ * Each worker owns `vnodes` points on a u64 ring; a request key is
+ * routed to the first worker point at or after the key's own point
+ * (wrapping).  Virtual nodes keep ownership shares near-uniform, and
+ * consistent hashing gives the rebalance property the fleet relies
+ * on: adding or removing one worker only moves the keys adjacent to
+ * that worker's points — every other key keeps its owner, so warm
+ * caches stay warm across membership changes.
+ *
+ * Everything here is deterministic: points are FNV-1a-128 digests of
+ * ("fleet-ring", worker id, replica index), folded to u64, with a
+ * deterministic linear probe on the (astronomically unlikely) point
+ * collision.  Two coordinators with the same member set always agree
+ * on every key's owner — that agreement is what makes failover safe
+ * to reason about.
+ */
+
+#ifndef PITON_FLEET_RING_HH
+#define PITON_FLEET_RING_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+
+namespace piton::fleet
+{
+
+class HashRing
+{
+  public:
+    explicit HashRing(unsigned vnodes_per_worker = 64)
+        : vnodes_(vnodes_per_worker == 0 ? 1 : vnodes_per_worker)
+    {}
+
+    /** Idempotent; inserting an existing id is a no-op. */
+    void addWorker(const std::string &id);
+    /** Idempotent; unknown ids are a no-op. */
+    void removeWorker(const std::string &id);
+
+    bool hasWorker(const std::string &id) const
+    {
+        return ids_.count(id) != 0;
+    }
+    std::size_t workerCount() const { return ids_.size(); }
+    /** Member ids in sorted order. */
+    std::vector<std::string> workers() const
+    {
+        return {ids_.begin(), ids_.end()};
+    }
+
+    /** The worker owning `key`.  Throws std::runtime_error when the
+     *  ring is empty. */
+    const std::string &ownerOf(const Hash128 &key) const;
+
+    /** Up to `n` distinct workers in ring order starting at the
+     *  owner — the failover candidate sequence for `key`. */
+    std::vector<std::string> replicasFor(const Hash128 &key,
+                                         std::size_t n) const;
+
+    unsigned vnodesPerWorker() const { return vnodes_; }
+
+  private:
+    std::uint64_t pointFor(const std::string &id,
+                           unsigned replica) const;
+
+    unsigned vnodes_;
+    std::map<std::uint64_t, std::string> ring_;
+    std::set<std::string> ids_;
+};
+
+} // namespace piton::fleet
+
+#endif // PITON_FLEET_RING_HH

@@ -54,8 +54,7 @@ TcpClient::recvFrame()
     WireReader r(header, sizeof(header));
     if (r.u32() != kFrameMagic)
         throw ServiceError("bad frame magic from server");
-    if (r.u16() != kWireVersion)
-        throw ServiceError("wire version mismatch");
+    const std::uint16_t version = r.u16();
     Frame frame;
     frame.type = static_cast<FrameType>(r.u16());
     frame.requestId = r.u64();
@@ -68,6 +67,17 @@ TcpClient::recvFrame()
         throw ServiceError("server closed mid-frame");
     if (ckpt::crc32(frame.payload.data(), frame.payload.size()) != crc)
         throw ServiceError("frame CRC mismatch from server");
+    // A VersionError frame is decodable regardless of the version in
+    // its header (frozen payload layout) — surface it typed so callers
+    // know reconnecting won't help.
+    if (frame.type == FrameType::VersionError) {
+        const VersionInfo info = decodeVersionError(frame.payload);
+        throw VersionMismatchError(info.serverVersion, kWireVersion,
+                                   frame.requestId);
+    }
+    if (version != kWireVersion)
+        throw VersionMismatchError(version, kWireVersion,
+                                   frame.requestId);
     return frame;
 }
 
@@ -131,18 +141,45 @@ TcpClient::cancel(std::uint64_t request_id)
 }
 
 void
-TcpClient::ping()
+TcpClient::awaitReadable(int timeout_ms, const char *what)
+{
+    if (timeout_ms <= 0)
+        return; // blocking recv below waits for us
+    if (!net::waitReadable(sock_.fd(), timeout_ms))
+        throw net::NetError(std::string(what) + " timed out after "
+                            + std::to_string(timeout_ms) + " ms");
+}
+
+void
+TcpClient::ping(int timeout_ms)
 {
     const std::uint64_t id = nextRequestId_++;
     Frame frame;
     frame.type = FrameType::Ping;
     frame.requestId = id;
     sendFrame(frame);
+    awaitReadable(timeout_ms, "ping");
     awaitFrame(FrameType::Pong, id);
 }
 
-SchedulerMetrics
-TcpClient::stats()
+HelloReply
+TcpClient::hello(int timeout_ms, const std::string &client_name)
+{
+    const std::uint64_t id = nextRequestId_++;
+    Frame frame;
+    frame.type = FrameType::Hello;
+    frame.requestId = id;
+    HelloRequest req;
+    req.clientName = client_name;
+    frame.payload = encodeHelloRequest(req);
+    sendFrame(frame);
+    awaitReadable(timeout_ms, "hello");
+    const Frame reply = awaitFrame(FrameType::HelloAck, id);
+    return decodeHelloReply(reply.payload);
+}
+
+WorkerStats
+TcpClient::workerStats()
 {
     const std::uint64_t id = nextRequestId_++;
     Frame frame;
@@ -150,7 +187,22 @@ TcpClient::stats()
     frame.requestId = id;
     sendFrame(frame);
     const Frame reply = awaitFrame(FrameType::StatsReply, id);
-    return decodeMetrics(reply.payload);
+    return decodeWorkerStats(reply.payload);
+}
+
+SchedulerMetrics
+TcpClient::stats()
+{
+    return workerStats().metrics;
+}
+
+net::Socket
+TcpClient::releaseSocket()
+{
+    if (!stashed_.empty())
+        throw ServiceError(
+            "releaseSocket with responses still stashed");
+    return std::move(sock_);
 }
 
 void

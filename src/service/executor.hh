@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 
 #include "service/cache.hh"
@@ -38,6 +39,10 @@ struct RunControl
     std::shared_ptr<std::atomic<bool>> cancelled;
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
+    /** Time source for deadline checks; empty = the real steady clock.
+     *  Tests inject a fake clock here (via SchedulerConfig::clock) to
+     *  make expiry deterministic instead of racing wall time. */
+    std::function<std::chrono::steady_clock::time_point()> now;
 
     bool
     isCancelled() const
@@ -47,7 +52,8 @@ struct RunControl
     bool
     deadlineExpired() const
     {
-        return std::chrono::steady_clock::now() >= deadline;
+        const auto t = now ? now() : std::chrono::steady_clock::now();
+        return t >= deadline;
     }
 };
 

@@ -120,6 +120,29 @@ decodeMetrics(const std::vector<std::uint8_t> &payload)
     return m;
 }
 
+std::vector<std::uint8_t>
+encodeWorkerStats(const WorkerStats &s)
+{
+    WireWriter w;
+    w.str(s.workerId);
+    w.u32(s.threads);
+    const std::vector<std::uint8_t> metrics = encodeMetrics(s.metrics);
+    w.blob(metrics);
+    return w.take();
+}
+
+WorkerStats
+decodeWorkerStats(const std::vector<std::uint8_t> &payload)
+{
+    WireReader r(payload);
+    WorkerStats s;
+    s.workerId = r.str();
+    s.threads = r.u32();
+    s.metrics = decodeMetrics(r.blob());
+    r.expectEnd();
+    return s;
+}
+
 ExperimentScheduler::ExperimentScheduler(SchedulerConfig cfg)
     : cfg_(cfg), resultCache_(cfg.resultCache), prefixCache_(cfg.prefixCache),
       pool_(cfg.threads, std::max<std::size_t>(1, cfg.queueCapacity))
@@ -149,7 +172,7 @@ ExperimentScheduler::submit(const ExperimentRequest &req,
     }
 
     const auto reject = [&](ServeResult r) {
-        recordOutcome(r, std::chrono::steady_clock::now());
+        recordOutcome(r, now());
         if (on_done)
             on_done(r);
         return readyTicket(id, std::move(r));
@@ -172,9 +195,10 @@ ExperimentScheduler::submit(const ExperimentRequest &req,
     } while (!pending_.compare_exchange_weak(depth, depth + 1,
                                              std::memory_order_relaxed));
 
-    const auto submitted_at = std::chrono::steady_clock::now();
+    const auto submitted_at = now();
     RunControl ctl;
     ctl.cancelled = std::make_shared<std::atomic<bool>>(false);
+    ctl.now = cfg_.clock;
     if (canon.deadlineMs > 0)
         ctl.deadline =
             submitted_at + std::chrono::milliseconds(canon.deadlineMs);
@@ -271,8 +295,7 @@ ExperimentScheduler::recordOutcome(
     const ServeResult &r, std::chrono::steady_clock::time_point submitted_at)
 {
     const double latency_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - submitted_at)
+        std::chrono::duration<double, std::milli>(now() - submitted_at)
             .count();
     std::lock_guard<std::mutex> lock(metricsMutex_);
     ++counters_.completed;

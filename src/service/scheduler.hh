@@ -63,6 +63,10 @@ struct SchedulerConfig
     /** Folded into every cache key; bump to invalidate all entries
      *  (stands in for a result-format/code version change). */
     std::uint32_t versionSalt = 0;
+    /** Time source for deadline bookkeeping (empty = real steady
+     *  clock).  Injected by tests so deadline-expiry outcomes are
+     *  deterministic under load; latency metrics also use it. */
+    std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 /** Completed request outcome.  `body` is the encoded response body —
@@ -98,6 +102,19 @@ struct SchedulerMetrics
 /** StatsReply payload codec (the wire form of metrics()). */
 std::vector<std::uint8_t> encodeMetrics(const SchedulerMetrics &m);
 SchedulerMetrics decodeMetrics(const std::vector<std::uint8_t> &payload);
+
+/** StatsReply payload since wire v3: worker identity ahead of the
+ *  metrics, so a fleet coordinator can attribute stats to ring
+ *  members without a side channel. */
+struct WorkerStats
+{
+    std::string workerId;
+    std::uint32_t threads = 0;
+    SchedulerMetrics metrics;
+};
+
+std::vector<std::uint8_t> encodeWorkerStats(const WorkerStats &s);
+WorkerStats decodeWorkerStats(const std::vector<std::uint8_t> &payload);
 
 class ExperimentScheduler
 {
@@ -145,8 +162,18 @@ class ExperimentScheduler
     ResultCache &resultCache() { return resultCache_; }
     ResultCache &prefixCache() { return prefixCache_; }
     const SchedulerConfig &config() const { return cfg_; }
+    /** Worker threads actually running (resolves cfg.threads == 0). */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(pool_.threadCount());
+    }
 
   private:
+    std::chrono::steady_clock::time_point now() const
+    {
+        return cfg_.clock ? cfg_.clock()
+                          : std::chrono::steady_clock::now();
+    }
     ServeResult execute(const ExperimentRequest &canon,
                         const RunControl &ctl);
     void recordOutcome(const ServeResult &r,

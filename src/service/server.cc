@@ -44,6 +44,8 @@ ExperimentServer::start()
     piton_assert(!running_.load(), "server already started");
     listener_ = net::listenTcp(cfg_.port);
     port_ = net::boundPort(listener_);
+    if (cfg_.workerId.empty())
+        cfg_.workerId = "worker-" + std::to_string(port_);
     running_.store(true, std::memory_order_release);
     ioThread_ = std::thread([this] { ioLoop(); });
     piton_inform("piton-served listening on 127.0.0.1:%u",
@@ -104,6 +106,7 @@ ExperimentServer::ioLoop()
         fds.push_back({wakeup_.fd(), POLLIN, 0});
         if (listener_.valid())
             fds.push_back({listener_.fd(), POLLIN, 0});
+        const std::size_t polled_conns = conns_.size();
         for (const auto &conn : conns_) {
             short events = POLLIN;
             if (!conn->outQueue.empty())
@@ -129,7 +132,12 @@ ExperimentServer::ioLoop()
                 acceptPending();
             ++idx;
         }
-        for (std::size_t c = 0; c < conns_.size(); ++c, ++idx) {
+        // Only the first `polled_conns` connections have a pollfd:
+        // acceptPending() above may have appended fresh connections,
+        // and indexing fds by the post-accept count would read past
+        // its end and kill newcomers on garbage revents.  They get
+        // polled from the next iteration on.
+        for (std::size_t c = 0; c < polled_conns; ++c, ++idx) {
             Connection &conn = *conns_[c];
             const short re = fds[idx].revents;
             if (re & (POLLERR | POLLHUP | POLLNVAL)) {
@@ -192,6 +200,27 @@ ExperimentServer::handleReadable(Connection &conn)
         while (conn.parser.next(frame))
             if (!handleFrame(conn, std::move(frame)))
                 return false;
+    } catch (const VersionMismatchError &e) {
+        // Answer with a typed VersionError the peer can decode: the
+        // header is stamped with *its* version so its strict parser
+        // accepts the frame, then the connection closes (a version-
+        // skewed stream cannot be resynchronized).
+        piton_warn("connection %llu speaks wire v%u (this server is "
+                   "v%u); replying VersionError and closing",
+                   static_cast<unsigned long long>(conn.id),
+                   static_cast<unsigned>(e.got()),
+                   static_cast<unsigned>(e.want()));
+        VersionInfo info;
+        info.serverVersion = kWireVersion;
+        info.clientVersion = e.got();
+        info.message = e.what();
+        Frame reply;
+        reply.type = FrameType::VersionError;
+        reply.requestId = e.requestId();
+        reply.payload = encodeVersionError(info);
+        conn.outQueue.push_back(encodeFrame(reply, e.got()));
+        writePending(conn);
+        return false;
     } catch (const ServiceError &e) {
         piton_warn("closing connection %llu on protocol error: %s",
                    static_cast<unsigned long long>(conn.id), e.what());
@@ -261,11 +290,31 @@ ExperimentServer::handleFrame(Connection &conn, Frame frame)
         enqueueFrame(conn, pong);
         return true;
     }
+    case FrameType::Hello: {
+        try {
+            (void)decodeHelloRequest(frame.payload);
+        } catch (const ServiceError &) {
+            return false; // malformed handshake
+        }
+        HelloReply h;
+        h.workerId = cfg_.workerId;
+        h.schedulerThreads = scheduler_.threadCount();
+        Frame ack;
+        ack.type = FrameType::HelloAck;
+        ack.requestId = frame.requestId;
+        ack.payload = encodeHelloReply(h);
+        enqueueFrame(conn, ack);
+        return true;
+    }
     case FrameType::StatsQuery: {
+        WorkerStats s;
+        s.workerId = cfg_.workerId;
+        s.threads = scheduler_.threadCount();
+        s.metrics = scheduler_.metrics();
         Frame reply;
         reply.type = FrameType::StatsReply;
         reply.requestId = frame.requestId;
-        reply.payload = encodeMetrics(scheduler_.metrics());
+        reply.payload = encodeWorkerStats(s);
         enqueueFrame(conn, reply);
         return true;
     }
@@ -281,6 +330,8 @@ ExperimentServer::handleFrame(Connection &conn, Frame frame)
     case FrameType::Pong:
     case FrameType::StatsReply:
     case FrameType::ShutdownAck:
+    case FrameType::HelloAck:
+    case FrameType::VersionError:
         break; // server-to-client types are invalid from a client
     }
     piton_warn("closing connection %llu: unexpected frame type %u",

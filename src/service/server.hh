@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -41,6 +42,9 @@ struct ServerConfig
 {
     /** 0 = ephemeral; read the resolved port from port(). */
     std::uint16_t port = 0;
+    /** Identity reported in HelloAck/StatsReply (fleet routing and
+     *  attribution).  Empty = "worker-<port>" once bound. */
+    std::string workerId;
     SchedulerConfig scheduler;
 };
 
@@ -72,6 +76,9 @@ class ExperimentServer
 
     /** Resolved listening port (valid after start()). */
     std::uint16_t port() const { return port_; }
+
+    /** Worker identity (valid after start()). */
+    const std::string &workerId() const { return cfg_.workerId; }
 
     bool running() const { return running_.load(std::memory_order_acquire); }
 

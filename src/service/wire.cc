@@ -112,13 +112,13 @@ constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 8 + 4 + 4;
 } // namespace
 
 std::vector<std::uint8_t>
-encodeFrame(const Frame &frame)
+encodeFrame(const Frame &frame, std::uint16_t wire_version)
 {
     if (frame.payload.size() > kMaxPayloadBytes)
         throw ServiceError("frame payload too large");
     WireWriter w;
     w.u32(kFrameMagic);
-    w.u16(kWireVersion);
+    w.u16(wire_version);
     w.u16(static_cast<std::uint16_t>(frame.type));
     w.u64(frame.requestId);
     w.u32(static_cast<std::uint32_t>(frame.payload.size()));
@@ -126,6 +126,70 @@ encodeFrame(const Frame &frame)
     std::vector<std::uint8_t> out = w.take();
     out.insert(out.end(), frame.payload.begin(), frame.payload.end());
     return out;
+}
+
+std::vector<std::uint8_t>
+encodeHelloRequest(const HelloRequest &h)
+{
+    WireWriter w;
+    w.u16(h.wireVersion);
+    w.str(h.clientName);
+    return w.take();
+}
+
+HelloRequest
+decodeHelloRequest(const std::vector<std::uint8_t> &payload)
+{
+    WireReader r(payload);
+    HelloRequest h;
+    h.wireVersion = r.u16();
+    h.clientName = r.str();
+    r.expectEnd();
+    return h;
+}
+
+std::vector<std::uint8_t>
+encodeHelloReply(const HelloReply &h)
+{
+    WireWriter w;
+    w.u16(h.wireVersion);
+    w.str(h.workerId);
+    w.u32(h.schedulerThreads);
+    return w.take();
+}
+
+HelloReply
+decodeHelloReply(const std::vector<std::uint8_t> &payload)
+{
+    WireReader r(payload);
+    HelloReply h;
+    h.wireVersion = r.u16();
+    h.workerId = r.str();
+    h.schedulerThreads = r.u32();
+    r.expectEnd();
+    return h;
+}
+
+std::vector<std::uint8_t>
+encodeVersionError(const VersionInfo &info)
+{
+    WireWriter w;
+    w.u16(info.serverVersion);
+    w.u16(info.clientVersion);
+    w.str(info.message);
+    return w.take();
+}
+
+VersionInfo
+decodeVersionError(const std::vector<std::uint8_t> &payload)
+{
+    WireReader r(payload);
+    VersionInfo info;
+    info.serverVersion = r.u16();
+    info.clientVersion = r.u16();
+    info.message = r.str();
+    r.expectEnd();
+    return info;
 }
 
 void
@@ -146,14 +210,12 @@ FrameParser::next(Frame &out)
     if (r.u32() != kFrameMagic)
         throw ServiceError("bad frame magic");
     const std::uint16_t version = r.u16();
-    if (version != kWireVersion)
-        throw ServiceError("wire version mismatch: got "
-                           + std::to_string(version) + ", want "
-                           + std::to_string(kWireVersion));
     const auto type = static_cast<FrameType>(r.u16());
     const std::uint64_t request_id = r.u64();
     const std::uint32_t payload_len = r.u32();
     const std::uint32_t payload_crc = r.u32();
+    if (version != kWireVersion)
+        throw VersionMismatchError(version, kWireVersion, request_id);
     if (payload_len > kMaxPayloadBytes)
         throw ServiceError("frame payload too large");
     if (buf_.size() < kHeaderBytes + payload_len)

@@ -49,8 +49,41 @@ class ServiceError : public std::runtime_error
 };
 
 /** Bumped on any frame-layout or body-encoding change.
- *  v2: ExperimentRequest grew engineThreads (u32, after fastPath). */
-inline constexpr std::uint16_t kWireVersion = 2;
+ *  v2: ExperimentRequest grew engineThreads (u32, after fastPath).
+ *  v3: fleet-aware — Hello/HelloAck worker handshake, VersionError
+ *      typed mismatch frames, StatsReply carries WorkerStats (worker
+ *      id + threads ahead of the metrics). */
+inline constexpr std::uint16_t kWireVersion = 3;
+
+/**
+ * Thrown when the peer speaks a different wire version.  Typed (rather
+ * than a generic ServiceError) so callers can distinguish "deploy
+ * mismatch, reconnecting won't help" from transient protocol damage —
+ * the fleet coordinator must NOT fail over on it, and clients surface
+ * it verbatim.  Carries both versions and, when known, the request id
+ * of the offending frame so a server can address its VersionError
+ * reply.
+ */
+class VersionMismatchError : public ServiceError
+{
+  public:
+    VersionMismatchError(std::uint16_t got, std::uint16_t want,
+                         std::uint64_t request_id = 0)
+        : ServiceError("wire version mismatch: got "
+                       + std::to_string(got) + ", want "
+                       + std::to_string(want)),
+          got_(got), want_(want), requestId_(request_id)
+    {}
+
+    std::uint16_t got() const { return got_; }
+    std::uint16_t want() const { return want_; }
+    std::uint64_t requestId() const { return requestId_; }
+
+  private:
+    std::uint16_t got_;
+    std::uint16_t want_;
+    std::uint64_t requestId_;
+};
 
 /** Frame magic "PSRV" (little-endian u32 on the wire). */
 inline constexpr std::uint32_t kFrameMagic = 0x56525350u;
@@ -70,6 +103,18 @@ enum class FrameType : std::uint16_t
     StatsReply = 7,
     Shutdown = 8,
     ShutdownAck = 9,
+    /** Worker handshake (v3): client announces its version and name,
+     *  server replies with HelloAck (version, worker id, threads). */
+    Hello = 10,
+    HelloAck = 11,
+    /**
+     * Typed version-mismatch reply (v3 servers).  The frame HEADER is
+     * encoded with the *peer's* version number so the peer's strict
+     * parser accepts it, and the payload layout below is frozen across
+     * all future versions — it is the one frame both sides of any
+     * version skew can decode.
+     */
+    VersionError = 12,
 };
 
 // ---- body codec -----------------------------------------------------
@@ -134,15 +179,56 @@ struct Frame
     std::vector<std::uint8_t> payload;
 };
 
-/** Serialize a complete frame (header + CRC + payload). */
-std::vector<std::uint8_t> encodeFrame(const Frame &frame);
+/** Serialize a complete frame (header + CRC + payload).  The optional
+ *  `wire_version` override exists for VersionError replies, which are
+ *  stamped with the peer's version so its parser accepts them. */
+std::vector<std::uint8_t> encodeFrame(const Frame &frame,
+                                      std::uint16_t wire_version
+                                      = kWireVersion);
+
+/** Hello payload (client → server). */
+struct HelloRequest
+{
+    std::uint16_t wireVersion = kWireVersion;
+    std::string clientName;
+};
+
+/** HelloAck payload (server → client): the worker's registration
+ *  card — identity the fleet coordinator routes and reports by. */
+struct HelloReply
+{
+    std::uint16_t wireVersion = kWireVersion;
+    std::string workerId;
+    std::uint32_t schedulerThreads = 0;
+};
+
+std::vector<std::uint8_t> encodeHelloRequest(const HelloRequest &h);
+HelloRequest decodeHelloRequest(const std::vector<std::uint8_t> &payload);
+std::vector<std::uint8_t> encodeHelloReply(const HelloReply &h);
+HelloReply decodeHelloReply(const std::vector<std::uint8_t> &payload);
+
+/** VersionError payload.  FROZEN layout (u16 server, u16 client echo,
+ *  str message): every future version must encode/decode it
+ *  identically, or version skew becomes undiagnosable. */
+struct VersionInfo
+{
+    std::uint16_t serverVersion = 0;
+    std::uint16_t clientVersion = 0;
+    std::string message;
+};
+
+std::vector<std::uint8_t> encodeVersionError(const VersionInfo &info);
+VersionInfo decodeVersionError(const std::vector<std::uint8_t> &payload);
 
 /**
  * Incremental frame decoder for one byte stream.  feed() appends raw
  * received bytes; next() pops the earliest complete frame, validating
  * magic, version, length bound, and payload CRC (throwing ServiceError
  * on any violation — the connection is then unrecoverable and should
- * be closed).
+ * be closed).  A version mismatch throws the typed
+ * VersionMismatchError (with the offending frame's request id) so the
+ * server can answer with a VersionError frame instead of silently
+ * dropping the connection.
  */
 class FrameParser
 {

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Fleet suite (src/fleet/): consistent-hash ring construction and the
+ * rebalance property (join/leave moves only the keys adjacent to the
+ * changed worker), key→worker stability, and the coordinator end to
+ * end over in-process piton-served workers — byte-identical responses
+ * vs a single-node LocalClient reference across 1/2/4 workers, and
+ * failover re-routing when the owning worker dies mid-fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+#include "fleet/coordinator.hh"
+#include "fleet/load.hh"
+#include "fleet/ring.hh"
+#include "service/client.hh"
+#include "service/scheduler.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using namespace piton;
+using namespace piton::fleet;
+
+Hash128
+keyOf(std::uint64_t i)
+{
+    Hasher h;
+    h.update("fleet-ring-test").updateU64(i);
+    return h.digest();
+}
+
+/** Owner of every probe key, for before/after membership diffs. */
+std::map<std::uint64_t, std::string>
+ownerMap(const HashRing &ring, std::uint64_t keys)
+{
+    std::map<std::uint64_t, std::string> owners;
+    for (std::uint64_t i = 0; i < keys; ++i)
+        owners[i] = ring.ownerOf(keyOf(i));
+    return owners;
+}
+
+// ---- hash ring ------------------------------------------------------
+
+TEST(FleetRing, EmptyRingThrowsAndMembershipIsIdempotent)
+{
+    HashRing ring;
+    EXPECT_THROW(ring.ownerOf(keyOf(1)), std::runtime_error);
+    EXPECT_THROW(ring.addWorker(""), std::exception);
+
+    ring.addWorker("a");
+    ring.addWorker("a"); // no-op
+    EXPECT_EQ(ring.workerCount(), 1u);
+    EXPECT_TRUE(ring.hasWorker("a"));
+    ring.removeWorker("ghost"); // no-op
+    EXPECT_EQ(ring.workerCount(), 1u);
+    EXPECT_EQ(ring.ownerOf(keyOf(1)), "a"); // sole member owns all
+
+    ring.removeWorker("a");
+    EXPECT_EQ(ring.workerCount(), 0u);
+    EXPECT_THROW(ring.ownerOf(keyOf(1)), std::runtime_error);
+}
+
+TEST(FleetRing, OwnersAreDeterministicAcrossInstances)
+{
+    HashRing a, b;
+    // Insertion order must not matter: two coordinators that discover
+    // the same member set in different orders must agree on owners.
+    for (const char *id : {"w0", "w1", "w2"})
+        a.addWorker(id);
+    for (const char *id : {"w2", "w0", "w1"})
+        b.addWorker(id);
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        EXPECT_EQ(a.ownerOf(keyOf(i)), b.ownerOf(keyOf(i)));
+    }
+}
+
+TEST(FleetRing, JoinMovesKeysOnlyToTheNewWorker)
+{
+    constexpr std::uint64_t kKeys = 2000;
+    HashRing ring;
+    for (const char *id : {"w0", "w1", "w2"})
+        ring.addWorker(id);
+    const auto before = ownerMap(ring, kKeys);
+
+    ring.addWorker("w3");
+    std::uint64_t moved = 0;
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+        const std::string &owner = ring.ownerOf(keyOf(i));
+        if (owner != before.at(i)) {
+            // The rebalance property: a key either keeps its owner or
+            // moves to the joiner — never between incumbents.
+            EXPECT_EQ(owner, "w3") << "key " << i;
+            ++moved;
+        }
+    }
+    // The joiner took a real share (~1/4), not nothing and not all.
+    EXPECT_GT(moved, kKeys / 10);
+    EXPECT_LT(moved, kKeys / 2);
+
+    // Leaving again restores every original owner exactly.
+    ring.removeWorker("w3");
+    EXPECT_EQ(ownerMap(ring, kKeys), before);
+}
+
+TEST(FleetRing, LeaveMovesOnlyTheLeaversKeys)
+{
+    constexpr std::uint64_t kKeys = 2000;
+    HashRing ring;
+    for (const char *id : {"w0", "w1", "w2", "w3"})
+        ring.addWorker(id);
+    const auto before = ownerMap(ring, kKeys);
+
+    ring.removeWorker("w1");
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+        if (before.at(i) != "w1")
+            EXPECT_EQ(ring.ownerOf(keyOf(i)), before.at(i)) << "key " << i;
+        else
+            EXPECT_NE(ring.ownerOf(keyOf(i)), "w1");
+    }
+}
+
+TEST(FleetRing, ShareStaysNearUniform)
+{
+    constexpr std::uint64_t kKeys = 4000;
+    HashRing ring;
+    for (const char *id : {"w0", "w1", "w2", "w3"})
+        ring.addWorker(id);
+    std::map<std::string, std::uint64_t> share;
+    for (std::uint64_t i = 0; i < kKeys; ++i)
+        ++share[ring.ownerOf(keyOf(i))];
+    ASSERT_EQ(share.size(), 4u); // everybody owns something
+    for (const auto &[id, count] : share) {
+        // 64 vnodes keep shares within a loose band of the 25% ideal.
+        EXPECT_GT(count, kKeys / 10) << id;
+        EXPECT_LT(count, kKeys / 2) << id;
+    }
+}
+
+TEST(FleetRing, ReplicasAreDistinctAndStartAtOwner)
+{
+    HashRing ring;
+    for (const char *id : {"w0", "w1", "w2"})
+        ring.addWorker(id);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const Hash128 key = keyOf(i);
+        const std::vector<std::string> reps = ring.replicasFor(key, 3);
+        ASSERT_EQ(reps.size(), 3u);
+        EXPECT_EQ(reps[0], ring.ownerOf(key));
+        EXPECT_EQ(std::set<std::string>(reps.begin(), reps.end()).size(),
+                  3u);
+    }
+    // Asking for more replicas than members returns every member once.
+    EXPECT_EQ(ring.replicasFor(keyOf(0), 10).size(), 3u);
+}
+
+// ---- coordinator over live workers ----------------------------------
+
+struct Fleet
+{
+    std::vector<std::unique_ptr<service::ExperimentServer>> servers;
+    std::unique_ptr<FleetCoordinator> coord;
+};
+
+Fleet
+spawnFleet(std::size_t worker_count)
+{
+    Fleet f;
+    FleetConfig cfg;
+    for (std::size_t i = 0; i < worker_count; ++i) {
+        service::ServerConfig scfg;
+        scfg.port = 0;
+        scfg.workerId = "test-w" + std::to_string(i);
+        scfg.scheduler.threads = 1;
+        auto server = std::make_unique<service::ExperimentServer>(scfg);
+        server->start();
+        cfg.workerPorts.push_back(server->port());
+        f.servers.push_back(std::move(server));
+    }
+    f.coord = std::make_unique<FleetCoordinator>(std::move(cfg));
+    return f;
+}
+
+/** Single-node reference bodies for the first `points` load points. */
+std::vector<std::vector<std::uint8_t>>
+referenceBodies(std::size_t points)
+{
+    service::SchedulerConfig cfg;
+    cfg.threads = 1;
+    service::ExperimentScheduler sched(cfg);
+    service::LocalClient local(sched);
+    std::vector<std::vector<std::uint8_t>> bodies;
+    for (std::size_t i = 0; i < points; ++i) {
+        const service::ClientResult r = local.run(loadPoint(i));
+        EXPECT_EQ(r.status, service::Status::Ok) << "point " << i;
+        bodies.push_back(r.body);
+    }
+    return bodies;
+}
+
+TEST(FleetCoordinator, ByteIdenticalAcrossWorkerCounts)
+{
+    constexpr std::size_t kPoints = 8;
+    const auto reference = referenceBodies(kPoints);
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+        Fleet f = spawnFleet(workers);
+        for (std::size_t i = 0; i < kPoints; ++i) {
+            const service::ClientResult r = f.coord->run(loadPoint(i));
+            ASSERT_EQ(r.status, service::Status::Ok)
+                << workers << " workers, point " << i;
+            EXPECT_EQ(r.body, reference[i])
+                << workers << " workers, point " << i;
+        }
+        const FleetMetrics m = f.coord->metrics();
+        EXPECT_EQ(m.requests, kPoints);
+        EXPECT_EQ(m.retries, 0u);
+        EXPECT_EQ(m.failovers, 0u);
+        for (auto &s : f.servers)
+            s->stop();
+    }
+}
+
+TEST(FleetCoordinator, SpreadsLoadAcrossWorkers)
+{
+    constexpr std::size_t kPoints = 16;
+    Fleet f = spawnFleet(2);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+        EXPECT_EQ(f.coord->run(loadPoint(i)).status, service::Status::Ok);
+    }
+    std::uint64_t served = 0;
+    for (const WorkerSnapshot &w : f.coord->workerSnapshots()) {
+        EXPECT_GT(w.requests, 0u) << w.id << " served nothing";
+        served += w.requests;
+    }
+    EXPECT_EQ(served, kPoints);
+    // Aggregated worker metrics see every request too.
+    EXPECT_GE(f.coord->stats().completed, kPoints);
+    for (auto &s : f.servers)
+        s->stop();
+}
+
+TEST(FleetCoordinator, FailoverReroutesWithIdenticalBytes)
+{
+    constexpr std::size_t kPoints = 6;
+    const auto reference = referenceBodies(kPoints);
+    Fleet f = spawnFleet(2);
+
+    // Kill the worker that owns point 0, then run every point: the
+    // dead owner's requests must fail over to the survivor with the
+    // response bytes unchanged.
+    const std::string victim = f.coord->ownerOf(loadPoint(0));
+    for (auto &s : f.servers)
+        if (s->workerId() == victim)
+            s->stop();
+
+    for (std::size_t i = 0; i < kPoints; ++i) {
+        const service::ClientResult r = f.coord->run(loadPoint(i));
+        ASSERT_EQ(r.status, service::Status::Ok) << "point " << i;
+        EXPECT_EQ(r.body, reference[i]) << "point " << i;
+    }
+    const FleetMetrics m = f.coord->metrics();
+    EXPECT_EQ(m.requests, kPoints);
+    EXPECT_GT(m.failovers, 0u);
+    for (const WorkerSnapshot &w : f.coord->workerSnapshots()) {
+        if (w.id == victim) {
+            EXPECT_GT(w.failures, 0u);
+        }
+    }
+    for (auto &s : f.servers)
+        s->stop();
+}
+
+TEST(FleetCoordinator, HealthCheckTracksWorkerDeath)
+{
+    Fleet f = spawnFleet(2);
+    EXPECT_EQ(f.coord->checkHealthOnce(), 2u);
+    EXPECT_EQ(f.coord->metrics().workersUp, 2u);
+
+    f.servers[0]->stop();
+    EXPECT_EQ(f.coord->checkHealthOnce(), 1u);
+    const FleetMetrics m = f.coord->metrics();
+    EXPECT_EQ(m.workersUp, 1u);
+    EXPECT_EQ(m.workersTotal, 2u);
+    for (const WorkerSnapshot &w : f.coord->workerSnapshots()) {
+        EXPECT_EQ(w.up, w.id == f.servers[1]->workerId());
+    }
+    for (auto &s : f.servers)
+        s->stop();
+}
+
+TEST(FleetCoordinator, DetachedWorkerLeavesTheRing)
+{
+    Fleet f = spawnFleet(2);
+    const std::uint16_t gone = f.servers[0]->port();
+    f.coord->detachWorker(gone);
+    EXPECT_EQ(f.coord->workerSnapshots().size(), 1u);
+    EXPECT_EQ(f.coord->metrics().workersTotal, 1u);
+    // Everything routes to the survivor now.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(f.coord->ownerOf(loadPoint(i)),
+                  f.servers[1]->workerId());
+    }
+    EXPECT_EQ(f.coord->run(loadPoint(0)).status, service::Status::Ok);
+    for (auto &s : f.servers)
+        s->stop();
+}
+
+TEST(FleetCoordinator, RefusesDeadFleetButStartsDegraded)
+{
+    // Construction succeeds with every worker down (degraded start:
+    // membership is the configured ports)…
+    FleetConfig cfg;
+    cfg.workerPorts = {47, 48}; // reserved low ports: nothing listens
+    cfg.connectTimeoutMs = 100;
+    FleetCoordinator coord(cfg);
+    EXPECT_EQ(coord.metrics().workersUp, 0u);
+    EXPECT_EQ(coord.metrics().workersTotal, 2u);
+    // …but running a request exhausts every replica and throws.
+    EXPECT_THROW(coord.run(loadPoint(0)), service::ServiceError);
+}
+
+} // namespace

@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -504,18 +506,45 @@ TEST(ServiceScheduler, ShedsBeyondAdmissionBound)
 TEST(ServiceScheduler, QueuedDeadlineExpiresWithoutRunning)
 {
     SchedulerConfig cfg = tinySchedulerConfig(1);
+    // Injected clock: the deadline is generous in wall-time terms, and
+    // only OUR advance can expire it — no dependence on how slowly a
+    // loaded CI host dequeues the request.
+    auto fake_ms = std::make_shared<std::atomic<std::int64_t>>(0);
+    const auto epoch = std::chrono::steady_clock::now();
+    cfg.clock = [fake_ms, epoch] {
+        return epoch + std::chrono::milliseconds(fake_ms->load());
+    };
     ExperimentScheduler sched(cfg);
 
-    // A slow request owns the single worker; the 1 ms deadline on the
-    // queued request lapses before it is dequeued.
+    // A slow request owns the single worker; by the time the queued
+    // urgent request is dequeued, the fake clock is past its deadline.
     ExperimentScheduler::Ticket slow = sched.submit(smallSweepRequest());
     ExperimentRequest urgent = smallPowerRequest();
     urgent.seed = 0xdead;
-    urgent.deadlineMs = 1;
+    urgent.deadlineMs = 60000;
     const ExperimentScheduler::Ticket t = sched.submit(urgent);
+    fake_ms->fetch_add(61000);
     EXPECT_EQ(t.result.get().status, Status::DeadlineExpired);
     EXPECT_EQ(slow.result.get().status, Status::Ok);
     EXPECT_EQ(sched.metrics().deadlineExpired, 1u);
+}
+
+TEST(ServiceScheduler, GenerousDeadlineDoesNotExpire)
+{
+    SchedulerConfig cfg = tinySchedulerConfig(1);
+    auto fake_ms = std::make_shared<std::atomic<std::int64_t>>(0);
+    const auto epoch = std::chrono::steady_clock::now();
+    cfg.clock = [fake_ms, epoch] {
+        return epoch + std::chrono::milliseconds(fake_ms->load());
+    };
+    ExperimentScheduler sched(cfg);
+
+    // The frozen fake clock never reaches the deadline: however long
+    // the real run takes, the request must complete normally.
+    ExperimentRequest req = smallPowerRequest();
+    req.deadlineMs = 1;
+    EXPECT_EQ(sched.serve(req).status, Status::Ok);
+    EXPECT_EQ(sched.metrics().deadlineExpired, 0u);
 }
 
 TEST(ServiceScheduler, CancelReleasesTheSlot)

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * piton-fleetctl: coordinator CLI for a fleet of piton-served workers.
+ *
+ *   piton-fleetctl --workers P1,P2[,...] ping
+ *   piton-fleetctl --workers ... stats
+ *   piton-fleetctl --workers ... run <preset> [--samples N]
+ *                  [--deadline-ms N] [--repeat N] [--expect-identical]
+ *   piton-fleetctl --workers ... sweep --points N [--verify]
+ *   piton-fleetctl --workers ... shutdown
+ *
+ * Requests are consistent-hash routed across the workers with
+ * automatic failover (DESIGN.md §15).  `sweep` drives the shared
+ * deterministic load set (fleet/load.hh) through the fleet; with
+ * --verify each response body is compared byte-for-byte against an
+ * in-process single-node LocalClient reference — the fleet's
+ * determinism contract, exercised end to end.  `shutdown` gracefully
+ * stops every reachable worker.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/coordinator.hh"
+#include "fleet/load.hh"
+#include "service/client.hh"
+
+namespace
+{
+
+using namespace piton;
+
+[[noreturn]] void
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s --workers P1,P2[,...] <command>\n"
+                 "commands:\n"
+                 "  ping\n"
+                 "  stats\n"
+                 "  run <preset> [--samples N] [--deadline-ms N]"
+                 " [--repeat N] [--expect-identical]\n"
+                 "  sweep --points N [--verify]\n"
+                 "  shutdown\n"
+                 "presets:",
+                 prog);
+    for (const std::string &name : service::presetNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
+
+long
+numericValue(const char *prog, const char *value)
+{
+    if (value == nullptr)
+        usage(prog);
+    char *end = nullptr;
+    const long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v < 0)
+        usage(prog);
+    return v;
+}
+
+std::vector<std::uint16_t>
+parsePorts(const char *prog, const char *list)
+{
+    std::vector<std::uint16_t> ports;
+    if (list == nullptr)
+        usage(prog);
+    const std::string s = list;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string tok = s.substr(pos, comma - pos);
+        ports.push_back(
+            static_cast<std::uint16_t>(numericValue(prog, tok.c_str())));
+        pos = comma + 1;
+    }
+    if (ports.empty())
+        usage(prog);
+    return ports;
+}
+
+int
+cmdPing(fleet::FleetCoordinator &coord)
+{
+    const std::size_t up = coord.checkHealthOnce();
+    for (const fleet::WorkerSnapshot &w : coord.workerSnapshots())
+        std::printf("%-16s port %5u  %s\n", w.id.c_str(),
+                    static_cast<unsigned>(w.port), w.up ? "up" : "DOWN");
+    const fleet::FleetMetrics m = coord.metrics();
+    std::printf("%zu/%zu workers up\n", up, m.workersTotal);
+    return up == m.workersTotal ? 0 : 1;
+}
+
+int
+cmdStats(fleet::FleetCoordinator &coord)
+{
+    const service::SchedulerMetrics sum = coord.stats();
+    std::printf("aggregate: submitted %" PRIu64 "  completed %" PRIu64
+                "  shed %" PRIu64 "  errors %" PRIu64
+                "  cache hits %" PRIu64 " (rate %.3f)\n",
+                sum.submitted, sum.completed, sum.shed, sum.errors,
+                sum.cacheHits, sum.hitRate);
+    for (const fleet::WorkerSnapshot &w : coord.workerSnapshots())
+        std::printf("%-16s port %5u  %-4s  served %" PRIu64
+                    "  failures %" PRIu64 "\n",
+                    w.id.c_str(), static_cast<unsigned>(w.port),
+                    w.up ? "up" : "DOWN", w.requests, w.failures);
+    const fleet::FleetMetrics m = coord.metrics();
+    std::printf("fleet: requests %" PRIu64 "  retries %" PRIu64
+                "  failovers %" PRIu64 "  hit rate %.3f\n",
+                m.requests, m.retries, m.failovers, m.hitRate);
+    return 0;
+}
+
+int
+cmdSweep(fleet::FleetCoordinator &coord, long points, bool verify)
+{
+    // Single-node reference, built lazily only when verifying.
+    service::ExperimentScheduler *ref_sched = nullptr;
+    service::SchedulerConfig ref_cfg;
+    ref_cfg.threads = 1;
+    service::ExperimentScheduler ref(ref_cfg);
+    if (verify)
+        ref_sched = &ref;
+    service::LocalClient reference(ref);
+
+    long mismatches = 0, failures = 0;
+    for (long i = 0; i < points; ++i) {
+        const service::ExperimentRequest req =
+            fleet::loadPoint(static_cast<std::size_t>(i));
+        const service::ClientResult got = coord.run(req);
+        if (got.status != service::Status::Ok) {
+            std::fprintf(stderr, "point %ld: status %s\n", i,
+                         service::statusName(got.status));
+            ++failures;
+            continue;
+        }
+        if (ref_sched != nullptr) {
+            const service::ClientResult want = reference.run(req);
+            if (got.body != want.body) {
+                std::fprintf(stderr,
+                             "point %ld: fleet body differs from "
+                             "single-node reference\n",
+                             i);
+                ++mismatches;
+            }
+        }
+    }
+    const fleet::FleetMetrics m = coord.metrics();
+    std::printf("%ld points: %" PRIu64 " requests, %" PRIu64
+                " retries, %" PRIu64 " failovers, hit rate %.3f\n",
+                points, m.requests, m.retries, m.failovers, m.hitRate);
+    if (verify) {
+        if (mismatches == 0 && failures == 0)
+            std::printf("verify: all %ld bodies byte-identical to "
+                        "single-node reference\n",
+                        points);
+        else
+            std::fprintf(stderr, "verify FAILED: %ld mismatches, %ld "
+                         "failures\n",
+                         mismatches, failures);
+    }
+    return mismatches == 0 && failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::uint16_t> ports;
+    int i = 1;
+    if (i + 1 < argc && std::strcmp(argv[i], "--workers") == 0) {
+        ports = parsePorts(argv[0], argv[i + 1]);
+        i += 2;
+    }
+    if (ports.empty() || i >= argc)
+        usage(argv[0]);
+    const std::string command = argv[i++];
+
+    try {
+        fleet::FleetConfig cfg;
+        cfg.workerPorts = ports;
+        cfg.clientName = "piton-fleetctl";
+        fleet::FleetCoordinator coord(cfg);
+
+        if (command == "ping")
+            return cmdPing(coord);
+        if (command == "stats")
+            return cmdStats(coord);
+        if (command == "shutdown") {
+            int rc = 0;
+            for (const std::uint16_t port : ports) {
+                try {
+                    service::TcpClient client(port);
+                    client.shutdownServer();
+                    std::printf("port %u shut down\n",
+                                static_cast<unsigned>(port));
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr, "port %u: %s\n",
+                                 static_cast<unsigned>(port), e.what());
+                    rc = 1;
+                }
+            }
+            return rc;
+        }
+        if (command == "sweep") {
+            long points = 16;
+            bool verify = false;
+            for (; i < argc; ++i) {
+                const char *a = argv[i];
+                const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+                if (std::strcmp(a, "--points") == 0) {
+                    points = numericValue(argv[0], next);
+                    ++i;
+                } else if (std::strcmp(a, "--verify") == 0) {
+                    verify = true;
+                } else {
+                    usage(argv[0]);
+                }
+            }
+            return cmdSweep(coord, points, verify);
+        }
+        if (command != "run" || i >= argc)
+            usage(argv[0]);
+
+        service::ExperimentRequest req = service::presetRequest(argv[i++]);
+        long repeat = 1;
+        bool expect_identical = false;
+        for (; i < argc; ++i) {
+            const char *a = argv[i];
+            const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+            if (std::strcmp(a, "--samples") == 0) {
+                req.samples = static_cast<std::uint32_t>(
+                    numericValue(argv[0], next));
+                ++i;
+            } else if (std::strcmp(a, "--deadline-ms") == 0) {
+                req.deadlineMs = static_cast<std::uint32_t>(
+                    numericValue(argv[0], next));
+                ++i;
+            } else if (std::strcmp(a, "--repeat") == 0) {
+                repeat = numericValue(argv[0], next);
+                ++i;
+            } else if (std::strcmp(a, "--expect-identical") == 0) {
+                expect_identical = true;
+            } else {
+                usage(argv[0]);
+            }
+        }
+
+        std::vector<std::uint8_t> first_body;
+        for (long n = 0; n < repeat; ++n) {
+            const service::ClientResult r = coord.run(req);
+            if (n == 0) {
+                first_body = r.body;
+                std::printf("status: %s%s (worker %s)\n",
+                            service::statusName(r.status),
+                            r.servedFromCache ? " (cached)" : "",
+                            coord.ownerOf(req).c_str());
+                if (r.status != service::Status::Ok) {
+                    if (!r.response.error.empty())
+                        std::fprintf(stderr, "error: %s\n",
+                                     r.response.error.c_str());
+                    return 1;
+                }
+                continue;
+            }
+            if (expect_identical && r.body != first_body) {
+                std::fprintf(stderr,
+                             "FAIL: response %ld differs from first\n",
+                             n);
+                return 1;
+            }
+        }
+        if (repeat > 1 && expect_identical)
+            std::printf("%ld repeats byte-identical\n", repeat - 1);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+}

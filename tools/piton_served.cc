@@ -14,6 +14,9 @@
  *   --threads N       worker threads (0 = all hardware threads)
  *   --max-pending N   admission bound before requests are shed
  *   --cache-dir DIR   spill cached results to DIR (survives restarts)
+ *   --worker-id ID    identity in HelloAck/StatsReply (default
+ *                     worker-<port>; fleet members should pass stable
+ *                     names so routing stats stay attributable)
  *   --log-level L     silent | warn | info | debug
  *
  * SIGINT/SIGTERM trigger the same graceful shutdown as a client
@@ -48,7 +51,7 @@ usage(const char *prog)
 {
     std::fprintf(stderr,
                  "usage: %s [--port N] [--threads N] [--max-pending N]"
-                 " [--cache-dir DIR] [--log-level L]\n",
+                 " [--cache-dir DIR] [--worker-id ID] [--log-level L]\n",
                  prog);
     std::exit(2);
 }
@@ -93,6 +96,11 @@ main(int argc, char **argv)
             if (next == nullptr)
                 usage(argv[0]);
             cfg.scheduler.resultCache.diskDir = next;
+            ++i;
+        } else if (std::strcmp(a, "--worker-id") == 0) {
+            if (next == nullptr)
+                usage(argv[0]);
+            cfg.workerId = next;
             ++i;
         } else if (std::strcmp(a, "--log-level") == 0) {
             if (next == nullptr)
