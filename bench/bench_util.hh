@@ -62,8 +62,9 @@ struct BenchArgs
     std::string scenario;
     /** Extra boolean flags seen (from the caller's allow-list). */
     std::vector<std::string> flags;
-    /** Extra valued options seen (from the caller's allow-list), in
-     *  command-line order; the last occurrence wins in optionValue. */
+    /** Extra valued options seen (from the caller's allow-list).  At
+     *  most one entry per name: a repeated flag is a parse-time hard
+     *  error, never a silent last-one-wins. */
     std::vector<std::pair<std::string, std::string>> options;
     /** Positional arguments, in order. */
     std::vector<std::string> positionals;
@@ -132,9 +133,12 @@ numericValue(const char *prog, const char *flag, const char *value)
  * plus any caller-allowed boolean `extra_flags` (e.g. "--full"),
  * caller-allowed valued `extra_opts` (e.g. "--port", consuming the
  * next argument), and up to `max_positionals` positional arguments.
- * Anything else — an unknown flag, a flag missing its value, a
- * non-numeric count, or an excess positional — is a hard error: usage
- * goes to stderr and the process exits with status 2.
+ * Anything else — an unknown flag, a repeated flag, a flag missing
+ * its value, a non-numeric count, or an excess positional — is a hard
+ * error: usage goes to stderr and the process exits with status 2.
+ * Rejecting duplicates matters for reproducibility: a stale flag left
+ * in a wrapper script must fail loudly, not silently lose to (or
+ * override) the one appended later.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
@@ -147,9 +151,16 @@ parseBenchArgs(int argc, char **argv, std::uint32_t def_samples = 128,
     args.samples = def_samples;
     args.threads = def_threads;
     const char *prog = argc > 0 ? argv[0] : "bench";
+    std::vector<std::string> seen;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (a[0] == '-') {
+            for (const std::string &s : seen)
+                if (s == a)
+                    detail::usageError(prog, "duplicate flag", a);
+            seen.emplace_back(a);
+        }
         if (std::strcmp(a, "--samples") == 0) {
             args.samples = static_cast<std::uint32_t>(
                 detail::numericValue(prog, a, next));

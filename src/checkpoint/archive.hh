@@ -67,8 +67,11 @@ inline constexpr char kMagic[8] = {'P', 'I', 'T', 'O', 'N', 'C', 'K', 'P'};
  *  v3: optional sys.governor section (DVFS control-loop state) and the
  *  Volts/Amps telemetry units.
  *  v4: chip.bbv section (per-tile BBV histograms) and the optional
- *  sys.sampling section (interval-profiler state). */
-inline constexpr std::uint32_t kFormatVersion = 4;
+ *  sys.sampling section (interval-profiler state).
+ *  v5: static per-tile duty gating — tileFreqMhz joins the sys.meta
+ *  fingerprint and the sys.duty section carries the Bresenham
+ *  accumulators of ungoverned placed runs. */
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /** CRC32 (IEEE 802.3, reflected) of a byte range. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t len);

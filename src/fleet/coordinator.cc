@@ -330,6 +330,31 @@ FleetCoordinator::workerSnapshots() const
     return out;
 }
 
+std::vector<WorkerDetail>
+FleetCoordinator::workerDetails()
+{
+    std::vector<WorkerDetail> out;
+    for (WorkerSnapshot &snap : workerSnapshots()) {
+        WorkerDetail d;
+        d.snapshot = std::move(snap);
+        if (d.snapshot.up) {
+            try {
+                TcpClient client(pool_.acquire(d.snapshot.port,
+                                               cfg_.connectTimeoutMs));
+                d.stats = client.workerStats();
+                d.statsOk = true;
+                if (client.reusable())
+                    pool_.release(d.snapshot.port,
+                                  client.releaseSocket());
+            } catch (const std::exception &) {
+                pool_.invalidate(d.snapshot.port);
+            }
+        }
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
 std::string
 FleetCoordinator::ownerOf(const ExperimentRequest &req) const
 {
@@ -381,6 +406,10 @@ FleetCoordinator::exportTelemetry(telemetry::TelemetryRecorder &rec)
             gauge(prefix + ".queue_depth",
                   static_cast<double>(s.metrics.queueDepth));
             gauge(prefix + ".hit_rate", s.metrics.hitRate);
+            gauge(prefix + ".result_cache_hits",
+                  static_cast<double>(s.metrics.resultCache.hits));
+            gauge(prefix + ".result_cache_misses",
+                  static_cast<double>(s.metrics.resultCache.misses));
         } catch (const std::exception &) {
             pool_.invalidate(port);
         }

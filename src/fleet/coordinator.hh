@@ -93,6 +93,17 @@ struct WorkerSnapshot
     std::uint64_t failures = 0; ///< attempts that errored here
 };
 
+/** WorkerSnapshot plus the worker's own live StatsReply (scheduler
+ *  metrics including result-cache hit/miss counters).  statsOk is
+ *  false — and stats default-constructed — when the worker could not
+ *  answer the stats exchange. */
+struct WorkerDetail
+{
+    WorkerSnapshot snapshot;
+    bool statsOk = false;
+    service::WorkerStats stats;
+};
+
 /**
  * Client-compatible front end over the worker fleet: run() routes,
  * retries, and fails over; stats() aggregates worker metrics.
@@ -126,6 +137,12 @@ class FleetCoordinator : public service::Client
 
     FleetMetrics metrics() const;
     std::vector<WorkerSnapshot> workerSnapshots() const;
+
+    /** workerSnapshots() enriched with each live worker's StatsReply
+     *  (one exchange per up worker; down workers report statsOk
+     *  false).  The fleetctl `stats` command renders the per-worker
+     *  result-cache hit/miss counters from this. */
+    std::vector<WorkerDetail> workerDetails();
 
     /** The worker id that owns `req`'s routing key right now. */
     std::string ownerOf(const service::ExperimentRequest &req) const;

@@ -1,0 +1,58 @@
+#include "search/objective.hh"
+
+#include <stdexcept>
+
+namespace piton::search
+{
+
+const char *
+goalName(Goal g)
+{
+    switch (g) {
+    case Goal::MinEpi:
+        return "min-epi";
+    case Goal::MinEnergyCapped:
+        return "min-energy-capped";
+    case Goal::MaxThroughputDeadline:
+        return "max-throughput";
+    }
+    return "?";
+}
+
+Goal
+goalFromName(const std::string &name)
+{
+    if (name == "min-epi")
+        return Goal::MinEpi;
+    if (name == "min-energy-capped")
+        return Goal::MinEnergyCapped;
+    if (name == "max-throughput")
+        return Goal::MaxThroughputDeadline;
+    throw std::invalid_argument("unknown goal '" + name + "'");
+}
+
+double
+scoreEvaluation(const Objective &obj, const Evaluation &ev)
+{
+    if (!ev.valid || !ev.completed)
+        return kInvalidScore;
+    switch (obj.goal) {
+    case Goal::MinEpi:
+        return ev.epi;
+    case Goal::MinEnergyCapped:
+        if (obj.powerCapW > 0.0 && ev.avgPowerW > obj.powerCapW)
+            return kInfeasibleBase + (ev.avgPowerW - obj.powerCapW);
+        return ev.energyJ;
+    case Goal::MaxThroughputDeadline: {
+        if (obj.deadlineS > 0.0 && ev.seconds > obj.deadlineS)
+            return kInfeasibleBase + (ev.seconds - obj.deadlineS);
+        const double throughput =
+            ev.seconds > 0.0 ? static_cast<double>(ev.insts) / ev.seconds
+                             : 0.0;
+        return -throughput;
+    }
+    }
+    return kInvalidScore;
+}
+
+} // namespace piton::search

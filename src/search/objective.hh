@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Search objectives: reduce an Evaluation to one comparable scalar
+ * (lower is better).
+ *
+ * Infeasibility is encoded by score band, not by rejection: any
+ * invalid or incomplete run scores kInvalidScore; a feasible-goal
+ * violation (power cap, deadline) scores kInfeasibleBase plus the
+ * violation magnitude, so the search can still descend toward the
+ * feasible region; every feasible score is finite and far below both
+ * bands.  Scores are pure functions of the Evaluation, so they are as
+ * bit-deterministic as the service results they come from.
+ */
+
+#ifndef PITON_SEARCH_OBJECTIVE_HH
+#define PITON_SEARCH_OBJECTIVE_HH
+
+#include <string>
+
+#include "search/oracle.hh"
+
+namespace piton::search
+{
+
+enum class Goal : std::uint8_t
+{
+    /** Minimize energy per instruction (the paper's EPI metric). */
+    MinEpi = 0,
+    /** Minimize total energy subject to avg power <= powerCapW. */
+    MinEnergyCapped = 1,
+    /** Maximize throughput (insts/s) subject to seconds <= deadlineS. */
+    MaxThroughputDeadline = 2,
+};
+
+const char *goalName(Goal g);
+/** Inverse of goalName; throws std::invalid_argument on unknown. */
+Goal goalFromName(const std::string &name);
+
+struct Objective
+{
+    Goal goal = Goal::MinEpi;
+    double powerCapW = 0.0; ///< MinEnergyCapped (<= 0 = uncapped)
+    double deadlineS = 0.0; ///< MaxThroughputDeadline (<= 0 = none)
+};
+
+/** Failed or non-completing runs. */
+inline constexpr double kInvalidScore = 1e30;
+/** Completed runs violating the goal's constraint score this plus the
+ *  violation, so constraint descent still has a gradient. */
+inline constexpr double kInfeasibleBase = 1e15;
+
+/** Lower is better; see file comment for the banding. */
+double scoreEvaluation(const Objective &obj, const Evaluation &ev);
+
+} // namespace piton::search
+
+#endif // PITON_SEARCH_OBJECTIVE_HH

@@ -7,6 +7,8 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/vf_experiments.hh"
+#include "sampling/profiler.hh"
+#include "sampling/sampled_run.hh"
 #include "sim/system.hh"
 #include "sim/warm_start.hh"
 #include "workloads/microbenchmarks.hh"
@@ -153,24 +155,83 @@ runMeasureStatic(const ExperimentRequest &req)
     return resp;
 }
 
-ExperimentResponse
-runEnergy(const ExperimentRequest &req)
+/** Load the (finite) workload of an EnergyRun or PlacedRun: onto the
+ *  explicit placement when there is one, onto tiles 0..cores-1
+ *  otherwise (the two are identical for the identity placement). */
+std::vector<isa::Program>
+loadEnergyWorkload(sim::System &sys, const ExperimentRequest &req)
 {
-    sim::System sys(req.systemOptions());
-    const auto programs = workloads::loadMicrobench(
+    if (req.kind == Kind::PlacedRun) {
+        std::vector<TileId> tiles(req.placement.begin(),
+                                  req.placement.end());
+        return workloads::loadMicrobenchOnTiles(
+            sys, benchOf(req), tiles, req.workload.threadsPerCore,
+            req.workload.iterations, req.workload.totalElements);
+    }
+    return workloads::loadMicrobench(
         sys, benchOf(req), req.workload.cores, req.workload.threadsPerCore,
         req.workload.iterations, req.workload.totalElements);
-    const sim::CompletionResult r = sys.runToCompletion(req.maxCycles);
+}
+
+void
+fillEnergy(EnergyResult &e, const sim::CompletionResult &r)
+{
+    e.completed = r.completed ? 1 : 0;
+    e.stalled = r.stalled ? 1 : 0;
+    e.cycles = r.cycles;
+    e.seconds = r.seconds;
+    e.insts = r.insts;
+    e.onChipEnergyJ = r.onChipEnergyJ;
+    e.activeEnergyJ = r.activeEnergyJ;
+    e.idleEnergyJ = r.idleEnergyJ;
+}
+
+ExperimentResponse
+runEnergy(const ExperimentRequest &req, const RunControl &ctl)
+{
+    sim::System sys(req.systemOptions());
+    const auto programs = loadEnergyWorkload(sys, req);
     ExperimentResponse resp;
     resp.kind = req.kind;
-    resp.energy.completed = r.completed ? 1 : 0;
-    resp.energy.stalled = r.stalled ? 1 : 0;
+    if (req.sampledSlices == 0) {
+        fillEnergy(resp.energy, sys.runToCompletion(req.maxCycles));
+        return resp;
+    }
+    // Sampled opt-in (DESIGN.md §14 through the service): profile the
+    // run once, then stitch the estimate from representative slices.
+    // Everything feeding the estimate is canonical request state plus
+    // fixed constants, so equal requests stitch bit-identical bodies.
+    sampling::ProfilerOptions popts;
+    popts.intervalInsns = req.sampledIntervalInsns;
+    popts.captureImages = true;
+    popts.telemetry = false;
+    sampling::IntervalProfiler prof(sys, popts);
+    const sim::CompletionResult r = prof.run(req.maxCycles);
+    if (!r.completed) {
+        // Nothing meaningful to stitch; report the exact partial run.
+        fillEnergy(resp.energy, r);
+        return resp;
+    }
+    if (ctl.isCancelled())
+        return ExperimentResponse::failure(Status::Cancelled, req.kind,
+                                           "cancelled");
+    if (ctl.deadlineExpired())
+        return ExperimentResponse::failure(Status::DeadlineExpired,
+                                           req.kind, "deadline expired");
+    sampling::SampledOptions sopts;
+    sopts.maxSlices = req.sampledSlices;
+    sopts.threads = req.engineThreads;
+    const sampling::SampledEstimate est =
+        sampling::runSampled(prof.intervals(), sys.options(), sopts);
+    resp.energy.completed = 1;
     resp.energy.cycles = r.cycles;
-    resp.energy.seconds = r.seconds;
-    resp.energy.insts = r.insts;
-    resp.energy.onChipEnergyJ = r.onChipEnergyJ;
-    resp.energy.activeEnergyJ = r.activeEnergyJ;
-    resp.energy.idleEnergyJ = r.idleEnergyJ;
+    resp.energy.seconds = est.seconds;
+    resp.energy.insts = est.totalInsns;
+    resp.energy.onChipEnergyJ = est.energyJ;
+    resp.energy.sampled = 1;
+    resp.energy.energyCi95J = est.energyCi95J;
+    resp.energy.epiCi95 = est.epiCi95;
+    resp.energy.simulatedFrac = est.simulatedFrac;
     return resp;
 }
 
@@ -248,7 +309,8 @@ runExperiment(const ExperimentRequest &canon, const RunControl &ctl,
         case Kind::MeasureStatic:
             return runMeasureStatic(canon);
         case Kind::EnergyRun:
-            return runEnergy(canon);
+        case Kind::PlacedRun:
+            return runEnergy(canon, ctl);
         case Kind::Sweep:
             return runSweep(canon, ctl, prefix_cache, version_salt);
         case Kind::VfCurve:

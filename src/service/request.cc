@@ -1,9 +1,11 @@
 #include "service/request.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "checkpoint/archive.hh"
 #include "core/vf_experiments.hh"
+#include "power/vf_model.hh"
 #include "service/response.hh"
 #include "workloads/microbenchmarks.hh"
 
@@ -14,7 +16,24 @@ namespace
 {
 
 constexpr std::uint16_t kMaxBench =
-    static_cast<std::uint16_t>(workloads::Microbench::Hist);
+    static_cast<std::uint16_t>(workloads::Microbench::Phased);
+
+/** Canonical duty denominator: windows per duty period at this chip
+ *  clock (the PLL-grid step count of the clock).  Matches
+ *  sim::System::initStaticDuty so a clamped tileFreqSteps entry maps
+ *  onto exactly the duty numerator the simulation will run. */
+std::uint32_t
+dutyDenominator(double core_clock_mhz)
+{
+    const double step = power::VfParams{}.freqStepMhz;
+    return static_cast<std::uint32_t>(
+        std::max<long long>(1, std::llround(core_clock_mhz / step)));
+}
+
+/** Default interval size for sampled service runs (retired insns). */
+constexpr std::uint64_t kDefaultSampledIntervalInsns = 100'000;
+constexpr std::uint64_t kMinSampledIntervalInsns = 1'000;
+constexpr std::uint32_t kMaxSampledSlices = 64;
 
 /** Hard bound on sweep fan-out and voltage grids: a request is one
  *  scheduler slot, so its internal fan-out must stay boundable. */
@@ -44,6 +63,8 @@ kindName(Kind k)
         return "sweep";
     case Kind::VfCurve:
         return "vf-curve";
+    case Kind::PlacedRun:
+        return "placed-run";
     case Kind::KindCount:
         break;
     }
@@ -64,6 +85,21 @@ ExperimentRequest::systemOptions() const
     opts.warmupCycles = warmupCycles;
     opts.fastPath = fastPath;
     opts.engineThreads = engineThreads;
+    if (!placement.empty()) {
+        // PlacedRun: unplaced tiles hard-gate (<= 0), placed tiles run
+        // their PLL step.  step_i * freqStepMhz round-trips through
+        // initStaticDuty back to exactly step_i windows per period.
+        const double step = power::VfParams{}.freqStepMhz;
+        opts.tileFreqMhz.assign(opts.cfg.piton.tileCount, 0.0);
+        for (std::size_t i = 0; i < placement.size(); ++i) {
+            const double f = i < tileFreqSteps.size()
+                                 ? step * tileFreqSteps[i]
+                                 : coreClockMhz;
+            opts.tileFreqMhz[placement[i]] = f;
+        }
+    }
+    if (sampledSlices > 0)
+        opts.bbvBuckets = kSampledBbvBuckets;
     return opts;
 }
 
@@ -79,6 +115,15 @@ ExperimentRequest::canonicalize()
         throw ServiceError("too many sweep tails");
     if (voltages.size() > kMaxVoltages)
         throw ServiceError("too many voltage points");
+    if (placement.size() > kMaxPlacementTiles)
+        throw ServiceError("placement exceeds the tile count");
+
+    // Phased always halts after its reps, so the infinite (power)
+    // variants cannot run it.
+    if (workload.bench
+            == static_cast<std::uint16_t>(workloads::Microbench::Phased)
+        && (kind == Kind::MeasurePower || kind == Kind::Sweep))
+        throw ServiceError("Phased is finite-only (energy kinds)");
 
     // Engine choice is a speed knob, not a result knob (DESIGN.md §9).
     // engineThreads is a speed knob too (§12) but, unlike fastPath,
@@ -95,6 +140,25 @@ ExperimentRequest::canonicalize()
     const auto zeroWorkload = [this] {
         workload = WorkloadSpec{0, 1, 1, 0, 0};
     };
+
+    // Placement and sampling are PlacedRun/EnergyRun concerns; forcing
+    // them off everywhere else keeps them out of other kinds' cache
+    // identities.
+    if (kind != Kind::PlacedRun) {
+        placement.clear();
+        tileFreqSteps.clear();
+    }
+    if (kind != Kind::EnergyRun && kind != Kind::PlacedRun)
+        sampledSlices = 0;
+    if (sampledSlices == 0) {
+        sampledIntervalInsns = 0;
+    } else {
+        sampledSlices = clampRange(sampledSlices, 1u, kMaxSampledSlices);
+        if (sampledIntervalInsns == 0)
+            sampledIntervalInsns = kDefaultSampledIntervalInsns;
+        sampledIntervalInsns =
+            std::max(sampledIntervalInsns, kMinSampledIntervalInsns);
+    }
 
     switch (kind) {
     case Kind::MeasurePower:
@@ -133,6 +197,35 @@ ExperimentRequest::canonicalize()
             t.windows = std::max<std::uint32_t>(1, t.windows);
         }
         break;
+    case Kind::PlacedRun: {
+        if (workload.iterations == 0)
+            throw ServiceError(
+                "placed run requires finite workload iterations");
+        if (placement.empty())
+            throw ServiceError("placed run requires a placement");
+        std::uint32_t seen = 0;
+        for (const std::uint16_t t : placement) {
+            if (t >= kMaxPlacementTiles)
+                throw ServiceError("placement tile out of range");
+            if ((seen >> t) & 1u)
+                throw ServiceError("placement tiles must be distinct");
+            seen |= 1u << t;
+        }
+        // The placement *is* the core list; a divergent cores field
+        // must not split the cache (or confuse the loader).
+        workload.cores = static_cast<std::uint32_t>(placement.size());
+        const std::uint32_t den = dutyDenominator(coreClockMhz);
+        const auto full =
+            static_cast<std::uint16_t>(std::min<std::uint32_t>(den, 0xFFFF));
+        tileFreqSteps.resize(placement.size(), full);
+        for (std::uint16_t &s : tileFreqSteps)
+            s = clampRange<std::uint16_t>(s, 1, full);
+        maxCycles = std::max<std::uint64_t>(1, maxCycles);
+        samples = 0;
+        tails.clear();
+        voltages.clear();
+        break;
+    }
     case Kind::VfCurve:
         zeroWorkload();
         samples = 0;
@@ -179,6 +272,14 @@ ExperimentRequest::encode(WireWriter &w) const
     w.u32(static_cast<std::uint32_t>(voltages.size()));
     for (const double v : voltages)
         w.f64(v);
+    w.u16(static_cast<std::uint16_t>(placement.size())); // wire v4
+    for (const std::uint16_t t : placement)
+        w.u16(t);
+    w.u16(static_cast<std::uint16_t>(tileFreqSteps.size()));
+    for (const std::uint16_t s : tileFreqSteps)
+        w.u16(s);
+    w.u32(sampledSlices);
+    w.u64(sampledIntervalInsns);
     w.u32(deadlineMs);
 }
 
@@ -218,6 +319,20 @@ ExperimentRequest::decode(WireReader &r)
     req.voltages.resize(n_volts);
     for (double &v : req.voltages)
         v = r.f64();
+    const std::uint16_t n_place = r.u16(); // wire v4
+    if (n_place > kMaxPlacementTiles)
+        throw ServiceError("placement exceeds the tile count");
+    req.placement.resize(n_place);
+    for (std::uint16_t &t : req.placement)
+        t = r.u16();
+    const std::uint16_t n_steps = r.u16();
+    if (n_steps > kMaxPlacementTiles)
+        throw ServiceError("too many tile frequency steps");
+    req.tileFreqSteps.resize(n_steps);
+    for (std::uint16_t &s : req.tileFreqSteps)
+        s = r.u16();
+    req.sampledSlices = r.u32();
+    req.sampledIntervalInsns = r.u64();
     req.deadlineMs = r.u32();
     return req;
 }

@@ -61,6 +61,14 @@ enum class Kind : std::uint16_t
     /** Fig. 9 V-f curve: fmax at each requested VDD (fmax solver; no
      *  chip simulation).  Ignores workload and measurement fields. */
     VfCurve = 4,
+    /** Finite run with an explicit thread→tile placement and per-tile
+     *  PLL steps (the search subsystem's evaluation unit, DESIGN.md
+     *  §16).  Like EnergyRun, but the workload loads onto
+     *  `placement` via loadMicrobenchOnTiles, placed tiles duty-gate
+     *  to `tileFreqSteps` on the PLL grid, and unplaced tiles are
+     *  hard-gated (local clock grid stopped).  Requires
+     *  iterations > 0. */
+    PlacedRun = 5,
 
     KindCount // bound for validation
 };
@@ -76,6 +84,15 @@ struct WorkloadSpec
     std::uint64_t iterations = 0; ///< 0 = infinite (power variants)
     std::uint64_t totalElements = 4096;
 };
+
+/** Hard bound on PlacedRun placements (the 5x5 mesh). */
+inline constexpr std::uint32_t kMaxPlacementTiles = 25;
+
+/** BBV buckets a sampled service run profiles with.  Fixed (not a
+ *  request field) so equal sampled requests cluster identically —
+ *  changing it changes stitched results, so bump the result format
+ *  version with it. */
+inline constexpr std::uint32_t kSampledBbvBuckets = 64;
 
 /** One divergent tail of a Sweep request (applied after the shared
  *  prefix; everything before it is byte-shared across points). */
@@ -116,6 +133,33 @@ struct ExperimentRequest
     std::vector<SweepTail> tails;
     /** VDD grid for VfCurve (empty = the Fig. 9 default grid). */
     std::vector<double> voltages;
+
+    /** Thread→tile placement (Kind::PlacedRun only): position i in the
+     *  list is core i of the workload mapping — thread roles and work
+     *  slices follow the position, exactly as loadMicrobenchOnTiles.
+     *  Tiles must be distinct and < 25; canonicalize() forces
+     *  workload.cores to the placement size. */
+    std::vector<std::uint16_t> placement;
+    /** Per-placed-tile PLL step (Kind::PlacedRun): position-aligned
+     *  with `placement`; entry i is the Bresenham duty numerator of
+     *  placement[i] — the tile runs step_i of every
+     *  round(coreClockMhz / freqStepMhz) windows.  Empty or short =
+     *  full speed for the uncovered positions; canonicalize() clamps
+     *  every entry into [1, den], so out-of-range encodings collapse
+     *  onto one cache key. */
+    std::vector<std::uint16_t> tileFreqSteps;
+
+    /** Sampled-run opt-in (EnergyRun / PlacedRun): > 0 runs the
+     *  workload under the interval profiler and stitches a sampled
+     *  estimate from this many representative slices (DESIGN.md §14)
+     *  instead of reporting the exact ledger totals.  Joins the cache
+     *  identity — a sampled result is a different result (it carries a
+     *  CI and a stitched estimate), never a stand-in for the exact
+     *  one. */
+    std::uint32_t sampledSlices = 0;
+    /** Profiler interval size in retired instructions (sampled runs
+     *  only; 0 canonicalizes to the 100k default). */
+    std::uint64_t sampledIntervalInsns = 0;
 
     /** Per-request deadline in milliseconds (0 = none).  Excluded from
      *  the cache key. */

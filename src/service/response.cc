@@ -69,6 +69,7 @@ ExperimentResponse::encodeBody() const
         w.f64(measure.dieTempC);
         break;
     case Kind::EnergyRun:
+    case Kind::PlacedRun:
         w.u8(energy.completed);
         w.u8(energy.stalled);
         w.u64(energy.cycles);
@@ -77,6 +78,10 @@ ExperimentResponse::encodeBody() const
         w.f64(energy.onChipEnergyJ);
         w.f64(energy.activeEnergyJ);
         w.f64(energy.idleEnergyJ);
+        w.u8(energy.sampled); // result format v2
+        w.f64(energy.energyCi95J);
+        w.f64(energy.epiCi95);
+        w.f64(energy.simulatedFrac);
         break;
     case Kind::Sweep:
         w.u32(static_cast<std::uint32_t>(points.size()));
@@ -126,6 +131,7 @@ ExperimentResponse::decodeBody(const std::vector<std::uint8_t> &b)
         resp.measure.dieTempC = r.f64();
         break;
     case Kind::EnergyRun:
+    case Kind::PlacedRun:
         resp.energy.completed = r.u8();
         resp.energy.stalled = r.u8();
         resp.energy.cycles = r.u64();
@@ -134,6 +140,10 @@ ExperimentResponse::decodeBody(const std::vector<std::uint8_t> &b)
         resp.energy.onChipEnergyJ = r.f64();
         resp.energy.activeEnergyJ = r.f64();
         resp.energy.idleEnergyJ = r.f64();
+        resp.energy.sampled = r.u8(); // result format v2
+        resp.energy.energyCi95J = r.f64();
+        resp.energy.epiCi95 = r.f64();
+        resp.energy.simulatedFrac = r.f64();
         break;
     case Kind::Sweep: {
         const std::uint32_t n = r.u32();

@@ -31,8 +31,10 @@ namespace piton::service
 
 /** Bumped whenever the response body layout (or the meaning of any
  *  result field) changes; part of the cache key, so old entries are
- *  invalidated rather than replayed with a stale layout. */
-inline constexpr std::uint32_t kResultFormatVersion = 1;
+ *  invalidated rather than replayed with a stale layout.
+ *  v2: EnergyResult grew the sampled-estimate fields (sampled flag,
+ *  CI bounds, simulated fraction) and serves PlacedRun too. */
+inline constexpr std::uint32_t kResultFormatVersion = 2;
 
 enum class Status : std::uint16_t
 {
@@ -68,7 +70,12 @@ struct MeasureResult
     double dieTempC = 0.0;
 };
 
-/** EnergyRun result (mirrors sim::CompletionResult). */
+/** EnergyRun / PlacedRun result (mirrors sim::CompletionResult).  A
+ *  sampled run (ExperimentRequest::sampledSlices > 0) reports the
+ *  stitched estimate instead: seconds/onChipEnergyJ come from the
+ *  ratio estimator, insts is exact from the profile, the CI fields are
+ *  live, and the active/idle decomposition is not available (both 0 —
+ *  slices replay total energy only). */
 struct EnergyResult
 {
     std::uint8_t completed = 0;
@@ -79,6 +86,11 @@ struct EnergyResult
     double onChipEnergyJ = 0.0;
     double activeEnergyJ = 0.0;
     double idleEnergyJ = 0.0;
+    /** Sampled-estimate section (result format v2). */
+    std::uint8_t sampled = 0;
+    double energyCi95J = 0.0;
+    double epiCi95 = 0.0;
+    double simulatedFrac = 0.0;
 };
 
 /** One Sweep tail's result: on-chip power stats over the recorded

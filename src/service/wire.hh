@@ -52,8 +52,12 @@ class ServiceError : public std::runtime_error
  *  v2: ExperimentRequest grew engineThreads (u32, after fastPath).
  *  v3: fleet-aware — Hello/HelloAck worker handshake, VersionError
  *      typed mismatch frames, StatsReply carries WorkerStats (worker
- *      id + threads ahead of the metrics). */
-inline constexpr std::uint16_t kWireVersion = 3;
+ *      id + threads ahead of the metrics).
+ *  v4: search-aware — ExperimentRequest grew Kind::PlacedRun with
+ *      placement + tileFreqSteps vectors and the sampled-run opt-in
+ *      (sampledSlices, sampledIntervalInsns); EnergyResult grew the
+ *      sampled-estimate section (result format v2). */
+inline constexpr std::uint16_t kWireVersion = 4;
 
 /**
  * Thrown when the peer speaks a different wire version.  Typed (rather

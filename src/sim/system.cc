@@ -59,6 +59,37 @@ System::System(SystemOptions opts)
     board_.setSupply(power::Rail::Vcs, opts_.vcsV);
     board_.setSupply(power::Rail::Vio, opts_.vioV);
     thermal_.reset();
+    if (!opts_.tileFreqMhz.empty())
+        initStaticDuty();
+}
+
+void
+System::initStaticDuty()
+{
+    const std::uint32_t n = opts_.cfg.piton.tileCount;
+    piton_assert(opts_.tileFreqMhz.size() == n,
+                 "tileFreqMhz must cover every tile");
+    // Same realization as applyActuation: a tile commanded f_t of the
+    // chip clock f runs round(f_t/step) of every round(f/step) windows.
+    const double step = power::VfParams{}.freqStepMhz;
+    dutyDen_ = static_cast<std::uint32_t>(
+        std::max<long long>(1, std::llround(opts_.coreClockMhz / step)));
+    dutyNum_.assign(n, dutyDen_);
+    dutyAcc_.assign(n, 0);
+    tileFreqCmd_.assign(n, opts_.coreClockMhz);
+    for (std::uint32_t t = 0; t < n; ++t) {
+        const double f = opts_.tileFreqMhz[t];
+        if (f <= 0.0) {
+            tileFreqCmd_[t] = 0.0;
+            dutyNum_[t] = 0;
+            continue;
+        }
+        tileFreqCmd_[t] = std::min(f, opts_.coreClockMhz);
+        const long long num = std::llround(tileFreqCmd_[t] / step);
+        dutyNum_[t] = static_cast<std::uint32_t>(std::min<long long>(
+            std::max<long long>(num, 1), dutyDen_));
+    }
+    staticDuty_ = true;
 }
 
 void
@@ -104,7 +135,7 @@ std::array<double, 3>
 System::windowTruePowers(Cycle window_cycles)
 {
     piton_assert(window_cycles > 0, "empty sample window");
-    if (gov_ != nullptr)
+    if (dutyActive())
         applyGovernorGates();
     chip_->run(window_cycles);
     const power::RailEnergy now_total = chip_->ledger().total();
@@ -277,6 +308,9 @@ System::recordWindowTelemetry(double window_s,
 void
 System::attachGovernor(governor::Governor *gov)
 {
+    piton_assert(gov == nullptr || !staticDuty_,
+                 "governor and SystemOptions::tileFreqMhz are mutually "
+                 "exclusive — the governor owns the duty tables");
     gov_ = gov;
     if (gov_ == nullptr) {
         // Detach: drop every gate so ungoverned stepping resumes.
@@ -575,14 +609,14 @@ System::runToCompletion(Cycle max_cycles)
     while (chip_->now() - start_cycle < max_cycles) {
         const Cycle remaining = max_cycles - (chip_->now() - start_cycle);
         const Cycle before = chip_->now();
-        if (gov_ != nullptr)
+        if (dutyActive())
             applyGovernorGates();
         const auto r = chip_->run(std::min(chunk, remaining));
         const Cycle elapsed = chip_->now() - before;
         // allHalted ignores duty-gated cores; the ground truth for "the
-        // workload finished" under a governor is allThreadsDone().
+        // workload finished" under live duty gates is allThreadsDone().
         const bool done =
-            r.allHalted && (gov_ == nullptr || chip_->allThreadsDone());
+            r.allHalted && (!dutyActive() || chip_->allThreadsDone());
         if (elapsed == 0) {
             if (done) {
                 res.completed = true;
@@ -666,6 +700,10 @@ System::serializeSystem(ckpt::Archive &ar)
     ar.ioExpect(opts_.vioV, "vio setpoint");
     ar.ioExpect(opts_.coreClockMhz, "core clock");
     ar.ioExpect(opts_.cyclesPerSample, "cycles per sample");
+    ar.ioExpect(static_cast<std::uint64_t>(opts_.tileFreqMhz.size()),
+                "static tile-frequency count");
+    for (const double f : opts_.tileFreqMhz)
+        ar.ioExpect(f, "static tile frequency");
     ar.endSection();
 
     chip_->serialize(ar);
@@ -699,6 +737,28 @@ System::serializeSystem(ckpt::Archive &ar)
     for (auto &v : prevTileJ_)
         ar.io(v);
     ar.endSection();
+
+    // Ungoverned static duty gating: the tables themselves derive from
+    // SystemOptions (fingerprinted above), but the Bresenham
+    // accumulator phase is run state and must ride along for a resumed
+    // placed run to gate the same windows an uninterrupted one would.
+    // Unconditional when active: the fingerprint guarantees a static-
+    // duty image only restores into a static-duty system.
+    if (staticDuty_) {
+        ar.beginSection("sys.duty");
+        ar.ioExpect(dutyDen_, "duty denominator");
+        std::uint64_t nd = ar.ioSize(dutyAcc_.size(), 4);
+        piton_assert(static_cast<std::size_t>(nd) == dutyAcc_.size(),
+                     "sys.duty accumulator count");
+        for (auto &v : dutyAcc_)
+            ar.io(v);
+        ar.endSection();
+        if (ar.loading()) {
+            gatedTiles_ = 0;
+            for (TileId t = 0; t < opts_.cfg.piton.tileCount; ++t)
+                chip_->setTileGated(t, false);
+        }
+    }
 
     // Governor control-loop state rides along only when a governor is
     // attached at save time; restoring it requires attaching a governor

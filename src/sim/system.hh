@@ -77,6 +77,18 @@ struct SystemOptions
      *  them never perturbs results — only adds a per-retire bump. */
     std::uint32_t bbvBuckets = 0;
 
+    /** Static per-tile commanded frequency (MHz), realized exactly like
+     *  a governor actuation: window-granularity duty gating, integer
+     *  Bresenham on the PLL grid (DESIGN.md §13/§16).  Empty = every
+     *  tile at the chip clock (no gating).  When non-empty the size
+     *  must equal cfg.piton.tileCount; entries <= 0 hard-gate the tile,
+     *  entries above the chip clock clamp to it.  Mutually exclusive
+     *  with attachGovernor — the governor owns the duty tables.  The
+     *  table joins the checkpoint fingerprint, and ungoverned duty
+     *  phase rides in an unconditional sys.duty section, so placed runs
+     *  stay bit-identical across engines/threads/checkpoint-resume. */
+    std::vector<double> tileFreqMhz;
+
     power::EnergyParams energyParams = power::defaultEnergyParams();
     thermal::ThermalParams thermalParams;
 };
@@ -319,6 +331,13 @@ class System
      *  (attach, or restore of a checkpoint without governor state). */
     void snapshotGovernorBaselines();
 
+    /** Build the duty tables from SystemOptions::tileFreqMhz (ctor). */
+    void initStaticDuty();
+
+    /** Duty gates are live: a governor drives them, or the static
+     *  per-tile table from SystemOptions::tileFreqMhz does. */
+    bool dutyActive() const { return gov_ != nullptr || staticDuty_; }
+
     /** Record the governor.* series for one epoch (lazy schema). */
     void recordGovernorEpoch(const governor::EpochObs &obs);
 
@@ -356,6 +375,9 @@ class System
 
     // ---- governor state (checkpointed as sys.governor) ---------------
     governor::Governor *gov_ = nullptr;
+    /** Duty tables seeded from SystemOptions::tileFreqMhz (no
+     *  governor); accumulator phase checkpointed as sys.duty. */
+    bool staticDuty_ = false;
     /** Actuated operating point; == the configured one until a
      *  governor changes it (so ungoverned runs are untouched). */
     double effVddV_ = 0.0;

@@ -116,8 +116,9 @@ inline constexpr const char *kServiceShed = "service.shed_total";
 /** Fleet-coordinator metrics (fleet::FleetCoordinator): the time axis
  *  is the export sequence number (dt = 1).  Totals are running
  *  counters; workers_up / hit_rate are gauges.  Per-worker gauges are
- *  named "fleet.worker.<id>.queue_depth" / ".hit_rate" from the
- *  worker's StatsReply. */
+ *  named "fleet.worker.<id>.queue_depth" / ".hit_rate" /
+ *  ".result_cache_hits" / ".result_cache_misses" from the worker's
+ *  StatsReply. */
 inline constexpr const char *kFleetRequests = "fleet.requests_total";
 inline constexpr const char *kFleetRetries = "fleet.retries_total";
 inline constexpr const char *kFleetFailovers = "fleet.failovers_total";

@@ -32,6 +32,7 @@ microbenchName(Microbench m)
       case Microbench::Int: return "Int";
       case Microbench::HP: return "HP";
       case Microbench::Hist: return "Hist";
+      case Microbench::Phased: return "Phased";
       default:
         piton_panic("bad Microbench");
     }
@@ -345,6 +346,20 @@ loadMicrobenchOnTiles(sim::System &system, Microbench bench,
                              + static_cast<Addr>(idx) * 0x1000}});
             }
         }
+        break;
+      }
+      case Microbench::Phased: {
+        piton_assert(iterations >= 1,
+                     "Phased is energy-only (it always halts); "
+                     "iterations must be >= 1");
+        programs.push_back(makePhasedEnergyProgram(iterations));
+        std::uint32_t hwid = 0;
+        for (std::uint32_t c = 0; c < cores; ++c)
+            for (std::uint32_t t = 0; t < threads_per_core; ++t, ++hwid)
+                system.loadProgram(
+                    tiles[c], t, &programs[0],
+                    {{1, kMixedDataBase
+                             + static_cast<Addr>(hwid) * 0x1000}});
         break;
       }
       default:

@@ -78,12 +78,16 @@ isa::Program makeTwoPhaseProgram(std::uint64_t compute_iters,
  */
 isa::Program makePhasedEnergyProgram(std::uint64_t reps);
 
-/** Thread-to-core mapping for the microbenchmark studies. */
+/** Thread-to-core mapping for the microbenchmark studies.  Phased runs
+ *  makePhasedEnergyProgram on every thread (finite only: it always
+ *  halts after `iterations` reps) — the heterogeneous-phase workload
+ *  the sampling and search subsystems optimize over. */
 enum class Microbench
 {
     Int,
     HP,
     Hist,
+    Phased,
 };
 
 const char *microbenchName(Microbench m);

@@ -107,12 +107,36 @@ TEST(BenchUtil, AllowListedExtrasParse)
     EXPECT_EQ(args.positionals[0], "chip2");
 }
 
-TEST(BenchUtil, LastOptionOccurrenceWins)
+TEST(BenchUtil, DuplicateExtraOptionIsAHardError)
 {
+    // Regression: this used to silently resolve last-one-wins, which
+    // let a stale flag in a wrapper script shadow the intended value.
     Argv a({"bench", "--port", "1", "--port", "2"});
-    const BenchArgs args =
-        parseBenchArgs(a.argc(), a.argv(), 128, 1, {}, 0, {"--port"});
-    EXPECT_EQ(args.optionValue("--port"), "2");
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv(), 128, 1, {}, 0,
+                               {"--port"}),
+                testing::ExitedWithCode(2), "duplicate flag");
+}
+
+TEST(BenchUtil, DuplicateCommonFlagIsAHardError)
+{
+    Argv a({"bench", "--samples", "8", "--samples", "16"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "duplicate flag");
+}
+
+TEST(BenchUtil, DuplicateBooleanExtraIsAHardError)
+{
+    Argv a({"bench", "--full", "--full"});
+    EXPECT_EXIT(parseBenchArgs(a.argc(), a.argv(), 128, 1, {"--full"}),
+                testing::ExitedWithCode(2), "duplicate flag");
+}
+
+TEST(BenchUtil, RepeatedPositionalsStillParse)
+{
+    // Only dash-flags dedup; positional values may legitimately repeat.
+    Argv a({"bench", "x", "x"});
+    const BenchArgs args = parseBenchArgs(a.argc(), a.argv(), 128, 1, {}, 2);
+    ASSERT_EQ(args.positionals.size(), 2u);
 }
 
 TEST(BenchUtil, ExtraOptionMissingValueIsAHardError)

@@ -162,6 +162,22 @@ TEST(FleetRing, ReplicasAreDistinctAndStartAtOwner)
     EXPECT_EQ(ring.replicasFor(keyOf(0), 10).size(), 3u);
 }
 
+TEST(FleetRing, SingleWorkerOwnsEverythingIncludingFailoverOrder)
+{
+    HashRing ring;
+    ring.addWorker("solo");
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        EXPECT_EQ(ring.ownerOf(keyOf(i)), "solo");
+        EXPECT_EQ(ring.replicasFor(keyOf(i), 3),
+                  std::vector<std::string>{"solo"});
+    }
+    // Leaving the sole member empties the failover order — callers see
+    // an exhausted candidate list, not a phantom owner.
+    ring.removeWorker("solo");
+    EXPECT_TRUE(ring.replicasFor(keyOf(0), 3).empty());
+    EXPECT_THROW(ring.ownerOf(keyOf(0)), std::runtime_error);
+}
+
 // ---- coordinator over live workers ----------------------------------
 
 struct Fleet
@@ -309,6 +325,45 @@ TEST(FleetCoordinator, DetachedWorkerLeavesTheRing)
                   f.servers[1]->workerId());
     }
     EXPECT_EQ(f.coord->run(loadPoint(0)).status, service::Status::Ok);
+    for (auto &s : f.servers)
+        s->stop();
+}
+
+TEST(FleetCoordinator, AllWorkersDownMidFleetExhaustsReplicas)
+{
+    Fleet f = spawnFleet(2);
+    EXPECT_EQ(f.coord->run(loadPoint(0)).status, service::Status::Ok);
+    for (auto &s : f.servers)
+        s->stop();
+    // Every replica fails → ServiceError after real retry attempts.
+    EXPECT_THROW(f.coord->run(loadPoint(1)), service::ServiceError);
+    EXPECT_GT(f.coord->metrics().retries, 0u);
+    // The stats exchange degrades per worker instead of throwing.
+    for (const WorkerDetail &d : f.coord->workerDetails()) {
+        EXPECT_FALSE(d.statsOk) << d.snapshot.id;
+    }
+}
+
+TEST(FleetCoordinator, WorkerDetailsExposeResultCacheCounters)
+{
+    Fleet f = spawnFleet(2);
+    // First visit simulates (a result-cache miss on some worker); the
+    // identical revisit must be a result-cache hit on the same worker.
+    EXPECT_EQ(f.coord->run(loadPoint(0)).status, service::Status::Ok);
+    EXPECT_EQ(f.coord->run(loadPoint(0)).status, service::Status::Ok);
+    std::uint64_t hits = 0, misses = 0;
+    std::size_t answered = 0;
+    for (const WorkerDetail &d : f.coord->workerDetails()) {
+        if (!d.statsOk)
+            continue;
+        ++answered;
+        EXPECT_EQ(d.stats.workerId, d.snapshot.id);
+        hits += d.stats.metrics.resultCache.hits;
+        misses += d.stats.metrics.resultCache.misses;
+    }
+    EXPECT_EQ(answered, 2u);
+    EXPECT_GT(misses, 0u);
+    EXPECT_GT(hits, 0u);
     for (auto &s : f.servers)
         s->stop();
 }

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Search determinism equivalence suite (DESIGN.md §16): a search at a
+ * fixed seed must replay bit-identically — same best candidate bytes,
+ * same score, same trajectory — across oracle thread counts, across
+ * reruns, and across oracle backends (executor-direct vs the service
+ * scheduler path).  This is the same contract bench_search --verify
+ * gates at larger budgets; here it runs on a small task so ctest stays
+ * fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "search/searcher.hh"
+#include "service/client.hh"
+#include "service/scheduler.hh"
+#include "workloads/microbenchmarks.hh"
+
+namespace
+{
+
+using namespace piton;
+using namespace piton::search;
+
+SearchTask
+smallTask()
+{
+    SearchTask task;
+    task.space = defaultSpace(/*cores=*/2, /*chip_id=*/2);
+    task.objective.goal = Goal::MinEpi;
+    task.base.chipId = 2;
+    task.base.workload.bench =
+        static_cast<std::uint16_t>(workloads::Microbench::Phased);
+    task.base.workload.iterations = 2;
+    task.base.workload.threadsPerCore = 1;
+    task.base.maxCycles = 50'000'000;
+    task.exploreIterations = 1;
+    return task;
+}
+
+SearcherOptions
+smallOpts()
+{
+    SearcherOptions opts;
+    opts.seed = 5;
+    opts.budget = 10;
+    opts.batch = 4;
+    opts.population = 4;
+    return opts;
+}
+
+void
+expectIdentical(const SearchResult &a, const SearchResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(candidateBytes(a.best), candidateBytes(b.best)) << what;
+    EXPECT_EQ(a.bestScore, b.bestScore) << what;
+    EXPECT_EQ(a.finalScore, b.finalScore) << what;
+    ASSERT_EQ(a.trajectory.size(), b.trajectory.size()) << what;
+    for (std::size_t i = 0; i < a.trajectory.size(); ++i) {
+        EXPECT_EQ(a.trajectory[i].oracleCalls, b.trajectory[i].oracleCalls)
+            << what << " point " << i;
+        EXPECT_EQ(a.trajectory[i].bestScore, b.trajectory[i].bestScore)
+            << what << " point " << i;
+    }
+}
+
+TEST(SearchEquiv, EveryEngineIsThreadCountInvariant)
+{
+    const SearchTask task = smallTask();
+    const SearcherOptions opts = smallOpts();
+    for (const std::string &engine : searcherNames()) {
+        InProcessOracle serial(1), parallel(3);
+        const SearchResult r1 =
+            makeSearcher(engine)->search(task, serial, opts);
+        const SearchResult r3 =
+            makeSearcher(engine)->search(task, parallel, opts);
+        expectIdentical(r1, r3, engine + " threads 1 vs 3");
+        EXPECT_EQ(r1.oracleCalls, opts.budget);
+        EXPECT_LT(r1.bestScore, kInfeasibleBase)
+            << engine << " found nothing feasible";
+    }
+}
+
+TEST(SearchEquiv, RerunAtTheSameSeedReplaysBitIdentically)
+{
+    const SearchTask task = smallTask();
+    const SearcherOptions opts = smallOpts();
+    for (const std::string &engine : searcherNames()) {
+        InProcessOracle a(2), b(2);
+        expectIdentical(makeSearcher(engine)->search(task, a, opts),
+                        makeSearcher(engine)->search(task, b, opts),
+                        engine + " replay");
+    }
+}
+
+TEST(SearchEquiv, ServiceBackendMatchesExecutorDirectOracle)
+{
+    const SearchTask task = smallTask();
+    const SearcherOptions opts = smallOpts();
+
+    InProcessOracle direct(2);
+    const SearchResult rd =
+        makeSearcher("sa")->search(task, direct, opts);
+
+    service::SchedulerConfig cfg;
+    cfg.threads = 1;
+    service::ExperimentScheduler sched(cfg);
+    service::LocalClient local(sched);
+    ClientOracle through_service(local);
+    const SearchResult rs =
+        makeSearcher("sa")->search(task, through_service, opts);
+
+    expectIdentical(rd, rs, "in-process vs service scheduler");
+}
+
+TEST(SearchEquiv, RevisitsHitTheOracleMemo)
+{
+    // Two identical searches against ONE oracle: the second is pure
+    // replay, so every one of its evaluations must be a memo hit.
+    const SearchTask task = smallTask();
+    const SearcherOptions opts = smallOpts();
+    InProcessOracle oracle(2);
+    const SearchResult first =
+        makeSearcher("sa")->search(task, oracle, opts);
+    const SearchResult second =
+        makeSearcher("sa")->search(task, oracle, opts);
+    expectIdentical(first, second, "shared-oracle replay");
+    EXPECT_EQ(second.cacheHits, second.oracleCalls);
+    EXPECT_EQ(second.cacheHitRatio, 1.0);
+}
+
+} // namespace

@@ -279,6 +279,80 @@ TEST(ServiceRequest, PresetsCanonicalize)
     EXPECT_THROW(presetRequest("fig99"), ServiceError);
 }
 
+TEST(ServiceRequest, PlacedRunCanonicalizesOntoTheDutyGrid)
+{
+    ExperimentRequest req;
+    req.kind = Kind::PlacedRun;
+    req.workload.bench =
+        static_cast<std::uint16_t>(workloads::Microbench::Phased);
+    req.workload.iterations = 1;
+    req.workload.cores = 17; // divergent from the placement: repaired
+    req.placement = {4, 0, 9};
+    req.tileFreqSteps = {0, 60000}; // under/over range, short
+    req.canonicalize();
+
+    // The placement IS the core list.
+    EXPECT_EQ(req.workload.cores, 3u);
+    // Steps clamp into [1, duty denominator] and missing entries fill
+    // with full duty, so every encodable step is one the sim runs.
+    ASSERT_EQ(req.tileFreqSteps.size(), 3u);
+    EXPECT_EQ(req.tileFreqSteps[0], 1u);
+    EXPECT_GE(req.tileFreqSteps[1], 1u);
+    EXPECT_EQ(req.tileFreqSteps[1], req.tileFreqSteps[2]); // both full
+    EXPECT_NO_THROW(req.canonicalize()); // idempotent
+
+    ExperimentRequest bad = req;
+    bad.placement = {4, 4, 9}; // duplicate tile
+    EXPECT_THROW(bad.canonicalize(), ServiceError);
+    bad = req;
+    bad.placement = {25}; // off the 5x5 mesh
+    EXPECT_THROW(bad.canonicalize(), ServiceError);
+    bad = req;
+    bad.placement.clear();
+    EXPECT_THROW(bad.canonicalize(), ServiceError);
+    bad = req;
+    bad.workload.iterations = 0;
+    EXPECT_THROW(bad.canonicalize(), ServiceError);
+}
+
+TEST(ServiceRequest, SampledFieldsJoinOnlyEnergyKindsCacheIdentity)
+{
+    // On an EnergyRun, the sampled opt-in is part of the identity…
+    ExperimentRequest a;
+    a.kind = Kind::EnergyRun;
+    a.workload.cores = 2;
+    a.workload.iterations = 2;
+    ExperimentRequest b = a;
+    b.sampledSlices = 8;
+    a.canonicalize();
+    b.canonicalize();
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    // …and slices > 0 pins a concrete interval size (never 0).
+    EXPECT_GT(b.sampledIntervalInsns, 0u);
+    EXPECT_EQ(a.sampledIntervalInsns, 0u);
+
+    // On kinds that cannot sample, the fields are stripped and must
+    // not split the cache.
+    ExperimentRequest c = smallPowerRequest();
+    ExperimentRequest d = c;
+    d.sampledSlices = 8;
+    d.sampledIntervalInsns = 123456;
+    c.canonicalize();
+    d.canonicalize();
+    EXPECT_EQ(c.cacheKey(), d.cacheKey());
+    EXPECT_EQ(d.sampledSlices, 0u);
+
+    // Placement fields strip off non-PlacedRun kinds the same way.
+    ExperimentRequest e = smallPowerRequest();
+    ExperimentRequest f = e;
+    f.placement = {1, 2};
+    f.tileFreqSteps = {5, 5};
+    e.canonicalize();
+    f.canonicalize();
+    EXPECT_EQ(e.cacheKey(), f.cacheKey());
+    EXPECT_TRUE(f.placement.empty());
+}
+
 // ---- result cache ---------------------------------------------------
 
 TEST(ServiceCache, EvictsLruUnderCapacityPressure)

@@ -109,11 +109,19 @@ cmdStats(fleet::FleetCoordinator &coord)
                 "  cache hits %" PRIu64 " (rate %.3f)\n",
                 sum.submitted, sum.completed, sum.shed, sum.errors,
                 sum.cacheHits, sum.hitRate);
-    for (const fleet::WorkerSnapshot &w : coord.workerSnapshots())
+    for (const fleet::WorkerDetail &d : coord.workerDetails()) {
+        const fleet::WorkerSnapshot &w = d.snapshot;
         std::printf("%-16s port %5u  %-4s  served %" PRIu64
-                    "  failures %" PRIu64 "\n",
+                    "  failures %" PRIu64,
                     w.id.c_str(), static_cast<unsigned>(w.port),
                     w.up ? "up" : "DOWN", w.requests, w.failures);
+        if (d.statsOk)
+            std::printf("  result-cache %" PRIu64 " hits / %" PRIu64
+                        " misses",
+                        d.stats.metrics.resultCache.hits,
+                        d.stats.metrics.resultCache.misses);
+        std::printf("\n");
+    }
     const fleet::FleetMetrics m = coord.metrics();
     std::printf("fleet: requests %" PRIu64 "  retries %" PRIu64
                 "  failovers %" PRIu64 "  hit rate %.3f\n",

@@ -89,6 +89,7 @@ printResult(const service::ClientResult &r)
         std::printf("  die %.2f C\n", r.response.measure.dieTempC);
         break;
     case service::Kind::EnergyRun:
+    case service::Kind::PlacedRun:
         std::printf("  completed=%u cycles=%" PRIu64 " insts=%" PRIu64
                     " time=%.6f s\n",
                     r.response.energy.completed, r.response.energy.cycles,
@@ -98,6 +99,12 @@ printResult(const service::ClientResult &r)
                     r.response.energy.onChipEnergyJ,
                     r.response.energy.activeEnergyJ,
                     r.response.energy.idleEnergyJ);
+        if (r.response.energy.sampled)
+            std::printf("  sampled: ±%.6f J (EPI CI ±%.3g), simulated"
+                        " %.1f%%\n",
+                        r.response.energy.energyCi95J,
+                        r.response.energy.epiCi95,
+                        100.0 * r.response.energy.simulatedFrac);
         break;
     case service::Kind::Sweep:
         for (const auto &p : r.response.points)
